@@ -1,0 +1,55 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! fixed-point damping, exhaustive-scan vs bracketed W_c* search, and the
+//! closed-form chain vs the explicit power-iteration solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use macgame_dcf::fixedpoint::{solve, SolveOptions};
+use macgame_dcf::markov::{transmission_probability, ExplicitChain};
+use macgame_dcf::optimal::{efficient_cw, efficient_cw_scan};
+use macgame_dcf::{DcfParams, UtilityParams};
+use std::hint::black_box;
+
+fn bench_damping(c: &mut Criterion) {
+    let params = DcfParams::default();
+    let windows: Vec<u32> = (0..12).map(|i| 8 + 24 * i).collect();
+    let mut group = c.benchmark_group("ablation/fixed_point_damping");
+    for damping in [0.25f64, 0.5, 0.9, 1.0] {
+        let options = SolveOptions { damping, ..SolveOptions::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(damping), &options, |b, options| {
+            b.iter(|| solve(black_box(&windows), &params, *options).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_cw_search_strategy(c: &mut Criterion) {
+    let params = DcfParams::default();
+    let utility = UtilityParams::default();
+    let mut group = c.benchmark_group("ablation/efficient_cw_strategy");
+    group.sample_size(10);
+    group.bench_function("bracketed_ternary", |b| {
+        b.iter(|| efficient_cw(black_box(5), &params, &utility, 512).unwrap());
+    });
+    group.bench_function("exhaustive_scan", |b| {
+        b.iter(|| efficient_cw_scan(black_box(5), &params, &utility, 512).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_chain_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/markov_chain_solver");
+    group.sample_size(10);
+    group.bench_function("closed_form", |b| {
+        b.iter(|| transmission_probability(black_box(8), black_box(0.3), 5).unwrap());
+    });
+    group.bench_function("power_iteration", |b| {
+        b.iter(|| {
+            let chain = ExplicitChain::new(black_box(8), black_box(0.3), 5).unwrap();
+            chain.tau(200_000, 1e-12).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_damping, bench_cw_search_strategy, bench_chain_solvers);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benchmarks the Figure 2 pipeline: the full U/C-vs-CW curve (basic
+//! access) and its per-point kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use macgame_bench::figures::{figure_series, window_grid};
+use macgame_dcf::fixedpoint::solve_symmetric;
+use macgame_dcf::utility::normalized_global_payoff;
+use macgame_dcf::{AccessMode, DcfParams, UtilityParams};
+use std::hint::black_box;
+
+fn bench_curve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/full_series");
+    group.sample_size(10);
+    for n in [5usize, 20, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| figure_series(black_box(n), AccessMode::Basic, 2048).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_kernel(c: &mut Criterion) {
+    let params = DcfParams::default();
+    let utility = UtilityParams::default();
+    c.bench_function("fig2/point_kernel_n20", |b| {
+        b.iter(|| {
+            let sym = solve_symmetric(20, black_box(325), &params).unwrap();
+            let taus = vec![sym.tau; 20];
+            let ps = vec![sym.collision_prob; 20];
+            black_box(normalized_global_payoff(&taus, &ps, &params, &utility))
+        });
+    });
+    c.bench_function("fig2/window_grid", |b| {
+        b.iter(|| black_box(window_grid(2048)));
+    });
+}
+
+criterion_group!(benches, bench_curve, bench_point_kernel);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Benchmarks the Figure 3 pipeline (RTS/CTS) and the shape extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use macgame_bench::figures::figure_series;
+use macgame_dcf::AccessMode;
+use std::hint::black_box;
+
+fn bench_curve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/full_series");
+    group.sample_size(10);
+    for n in [5usize, 20, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| figure_series(black_box(n), AccessMode::RtsCts, 2048).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_shape(c: &mut Criterion) {
+    let series = figure_series(20, AccessMode::RtsCts, 2048).unwrap();
+    c.bench_function("fig3/shape_extraction", |b| {
+        b.iter(|| black_box(series.shape()));
+    });
+}
+
+criterion_group!(benches, bench_curve, bench_shape);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Benchmarks the Section VII.B multi-hop pipeline: topology construction,
+//! local games, TFT convergence, and the spatial simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use macgame_dcf::{MicroSecs, UtilityParams};
+use macgame_multihop::convergence::tft_converge;
+use macgame_multihop::localgame::{local_optimal_windows, LocalRule};
+use macgame_multihop::spatialsim::{SpatialConfig, SpatialEngine};
+use macgame_multihop::topology::Topology;
+use std::hint::black_box;
+
+fn setup() -> (Vec<macgame_multihop::Point>, Topology, SpatialConfig) {
+    let config = SpatialConfig::paper(7);
+    let engine = SpatialEngine::new(100, &vec![64; 100], config.clone()).unwrap();
+    (engine.positions().to_vec(), engine.topology().clone(), config)
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let (positions, _, _) = setup();
+    c.bench_function("multihop/topology_100_nodes", |b| {
+        b.iter(|| black_box(Topology::from_positions(&positions, 250.0)));
+    });
+}
+
+fn bench_local_games(c: &mut Criterion) {
+    let (_, topo, config) = setup();
+    let mut group = c.benchmark_group("multihop/local_games");
+    group.sample_size(10);
+    group.bench_function("exact_argmax_100_nodes", |b| {
+        b.iter(|| {
+            local_optimal_windows(
+                &topo,
+                &config.params,
+                &UtilityParams::default(),
+                2048,
+                LocalRule::ExactArgmax,
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let (_, topo, config) = setup();
+    let local = local_optimal_windows(
+        &topo,
+        &config.params,
+        &UtilityParams::default(),
+        2048,
+        LocalRule::ExactArgmax,
+    )
+    .unwrap();
+    c.bench_function("multihop/tft_converge_100_nodes", |b| {
+        b.iter(|| tft_converge(black_box(&topo), black_box(&local)).unwrap());
+    });
+}
+
+fn bench_spatial_sim(c: &mut Criterion) {
+    let (positions, _, config) = setup();
+    let static_config = SpatialConfig { mobility: None, ..config };
+    let mut group = c.benchmark_group("multihop/spatial_sim");
+    group.sample_size(10);
+    group.bench_function("1s_static_100_nodes", |b| {
+        b.iter(|| {
+            let mut engine = SpatialEngine::with_positions(
+                positions.clone(),
+                &vec![16; 100],
+                static_config.clone(),
+            )
+            .unwrap();
+            black_box(engine.run_for(MicroSecs::from_seconds(1.0)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_spatial_repeated_game(c: &mut Criterion) {
+    use macgame_multihop::repeated::SpatialRepeatedGame;
+    let (_, _, config) = setup();
+    let static_config = SpatialConfig { mobility: None, ..config };
+    let mut group = c.benchmark_group("multihop/spatial_repeated_game");
+    group.sample_size(10);
+    group.bench_function("one_stage_50_nodes", |b| {
+        b.iter(|| {
+            let mut game = SpatialRepeatedGame::new(
+                (0..50).map(|i| 16 + (i as u32 % 5) * 8).collect(),
+                static_config.clone(),
+                MicroSecs::from_seconds(1.0),
+            )
+            .unwrap();
+            black_box(game.play_stage().unwrap().payoffs.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topology,
+    bench_local_games,
+    bench_convergence,
+    bench_spatial_sim,
+    bench_spatial_repeated_game
+);
+criterion_main!(benches);

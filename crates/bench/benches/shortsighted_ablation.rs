@@ -1,0 +1,74 @@
+//! Benchmarks the Section V.D/V.C machinery: deviation pricing, the
+//! equilibrium check, and the distributed search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use macgame_core::deviation::{optimal_shortsighted_deviation, shortsighted_deviation};
+use macgame_core::equilibrium::{check_symmetric_ne, efficient_ne, DEFAULT_NE_EPSILON};
+use macgame_core::search::{run_search, AnalyticProbe};
+use macgame_core::GameConfig;
+use std::hint::black_box;
+
+fn bench_single_deviation(c: &mut Criterion) {
+    let game = GameConfig::builder(5).build().unwrap();
+    let w_star = efficient_ne(&game).unwrap().window;
+    c.bench_function("shortsighted/single_deviation_pricing", |b| {
+        b.iter(|| {
+            shortsighted_deviation(&game, black_box(w_star), black_box(w_star / 2), 1, 0.9)
+                .unwrap()
+        });
+    });
+}
+
+fn bench_optimal_deviation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shortsighted/optimal_deviation");
+    group.sample_size(10);
+    for delta_s in [0.0f64, 0.9] {
+        let game = GameConfig::builder(5).build().unwrap();
+        let w_star = efficient_ne(&game).unwrap().window;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(delta_s),
+            &delta_s,
+            |b, &delta_s| {
+                b.iter(|| {
+                    optimal_shortsighted_deviation(&game, black_box(w_star), 1, delta_s).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ne_check(c: &mut Criterion) {
+    let game = GameConfig::builder(5).build().unwrap();
+    let w_star = efficient_ne(&game).unwrap().window;
+    let mut group = c.benchmark_group("shortsighted/ne_check");
+    group.sample_size(10);
+    group.bench_function("check_symmetric_ne_at_w_star", |b| {
+        b.iter(|| {
+            check_symmetric_ne(&game, black_box(w_star), 1, DEFAULT_NE_EPSILON).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let game = GameConfig::builder(5).build().unwrap();
+    let mut group = c.benchmark_group("shortsighted/equilibrium_search");
+    group.sample_size(10);
+    group.bench_function("analytic_from_w0_40", |b| {
+        b.iter(|| {
+            let mut probe = AnalyticProbe::new(game.clone());
+            black_box(run_search(&mut probe, &game, 40, 0.0).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_deviation,
+    bench_optimal_deviation,
+    bench_ne_check,
+    bench_search
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks the solvers behind Table II (efficient NE, basic access):
+//! the symmetric fixed point, the W_c* argmax search, and the slot
+//! simulator that produces the table's measured column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use macgame_dcf::fixedpoint::solve_symmetric;
+use macgame_dcf::optimal::efficient_cw;
+use macgame_dcf::{DcfParams, UtilityParams};
+use macgame_sim::{Engine, SimConfig};
+use std::hint::black_box;
+
+fn bench_fixed_point(c: &mut Criterion) {
+    let params = DcfParams::default();
+    let mut group = c.benchmark_group("table2/symmetric_fixed_point");
+    for n in [5usize, 20, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| solve_symmetric(black_box(n), black_box(76), &params).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_efficient_cw(c: &mut Criterion) {
+    let params = DcfParams::default();
+    let utility = UtilityParams::default();
+    let mut group = c.benchmark_group("table2/efficient_cw");
+    group.sample_size(10);
+    for n in [5usize, 20, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| efficient_cw(black_box(n), &params, &utility, 2048).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/simulator_100k_slots");
+    group.sample_size(10);
+    for n in [5usize, 20, 50] {
+        let config = SimConfig::builder().symmetric(n, 76).seed(1).build().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut engine = Engine::new(&config);
+                black_box(engine.run_slots(100_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixed_point, bench_efficient_cw, bench_simulator);
+criterion_main!(benches);

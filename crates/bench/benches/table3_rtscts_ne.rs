@@ -1,0 +1,51 @@
+//! Benchmarks the solvers behind Table III (efficient NE, RTS/CTS):
+//! both W_c* derivations and the heterogeneous fixed point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use macgame_dcf::fixedpoint::{solve, SolveOptions};
+use macgame_dcf::optimal::{efficient_cw, efficient_cw_from_tau_star};
+use macgame_dcf::{AccessMode, DcfParams, UtilityParams};
+use std::hint::black_box;
+
+fn rtscts() -> DcfParams {
+    DcfParams::builder().access_mode(AccessMode::RtsCts).build().unwrap()
+}
+
+fn bench_exact_argmax(c: &mut Criterion) {
+    let params = rtscts();
+    let utility = UtilityParams::default();
+    let mut group = c.benchmark_group("table3/efficient_cw_exact");
+    group.sample_size(10);
+    for n in [5usize, 20, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| efficient_cw(black_box(n), &params, &utility, 2048).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_tau_inversion(c: &mut Criterion) {
+    let params = rtscts();
+    let mut group = c.benchmark_group("table3/efficient_cw_tau_inversion");
+    for n in [5usize, 20, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| efficient_cw_from_tau_star(black_box(n), &params, 2048).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_heterogeneous_solve(c: &mut Criterion) {
+    let params = rtscts();
+    let mut group = c.benchmark_group("table3/heterogeneous_fixed_point");
+    for n in [5usize, 20, 50] {
+        let windows: Vec<u32> = (0..n).map(|i| 16 + 8 * (i as u32 % 9)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| solve(black_box(&windows), &params, SolveOptions::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_argmax, bench_tau_inversion, bench_heterogeneous_solve);
+criterion_main!(benches);

@@ -1,0 +1,492 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p macgame-bench --bin repro -- all [--quick]
+//! cargo run --release -p macgame-bench --bin repro -- table2
+//! ```
+//!
+//! Each experiment prints its paper-vs-measured comparison and writes a
+//! JSON artifact under `artifacts/`.
+
+use macgame_bench::render::{text_table, write_artifact};
+use macgame_bench::{
+    deviation_exp, extensions_exp, figures, multihop_exp, search_exp, tables, BenchError,
+};
+use macgame_dcf::{AccessMode, MicroSecs};
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "fig2",
+    "fig3",
+    "multihop",
+    "shortsighted",
+    "malicious",
+    "search",
+    "ne-interval",
+    "convergence",
+    "delay",
+    "ratecontrol",
+    "tournament",
+    "validate",
+    "myopia",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let picked: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let run_all = picked.is_empty() || picked.contains(&"all");
+    let wants = |name: &str| run_all || picked.contains(&name);
+
+    if !run_all {
+        for p in &picked {
+            if !EXPERIMENTS.contains(p) && *p != "all" {
+                eprintln!("unknown experiment `{p}`; available: all {EXPERIMENTS:?} [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut failures = 0;
+    for name in EXPERIMENTS {
+        if !wants(name) {
+            continue;
+        }
+        println!("\n════════ {name} ════════");
+        let result = match *name {
+            "table1" => table1(),
+            "table2" => ne_table(AccessMode::Basic, quick),
+            "table3" => ne_table(AccessMode::RtsCts, quick),
+            "fig2" => figure(AccessMode::Basic),
+            "fig3" => figure(AccessMode::RtsCts),
+            "multihop" => multihop(quick),
+            "shortsighted" => shortsighted(),
+            "malicious" => malicious(),
+            "search" => search(quick),
+            "ne-interval" => ne_interval(),
+            "convergence" => convergence(),
+            "delay" => delay(),
+            "ratecontrol" => ratecontrol(),
+            "tournament" => tournament(),
+            "validate" => validate(quick),
+            "myopia" => myopia(),
+            _ => unreachable!(),
+        };
+        if let Err(e) = result {
+            eprintln!("experiment {name} failed: {e}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn table1() -> Result<(), BenchError> {
+    let rows = tables::table1();
+    let body: Vec<Vec<String>> =
+        rows.iter().map(|r| vec![r.name.to_string(), r.value.clone()]).collect();
+    println!("{}", text_table(&["parameter", "value"], &body));
+    let path = write_artifact("table1", &rows)?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn ne_table(mode: AccessMode, quick: bool) -> Result<(), BenchError> {
+    let (duration, label) = if quick {
+        (MicroSecs::from_seconds(10.0), "10 s/point (--quick)")
+    } else {
+        (MicroSecs::from_seconds(120.0), "120 s/point")
+    };
+    println!("efficient NE by population, {mode} access (sim: {label})");
+    let rows = tables::ne_table(mode, 4096, duration, 42)?;
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.paper_w_star.to_string(),
+                r.analytic_w_star.to_string(),
+                r.tau_inversion_w_star.to_string(),
+                format!("{:.1}", r.sim_mean),
+                format!("{:.2}", r.sim_var),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["n", "paper W_c*", "exact argmax", "τ*-inversion", "sim Ŵ (mean)", "sim Var"],
+            &body
+        )
+    );
+    let name = if mode == AccessMode::Basic { "table2" } else { "table3" };
+    let path = write_artifact(name, &rows)?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn figure(mode: AccessMode) -> Result<(), BenchError> {
+    let fig_name = if mode == AccessMode::Basic { "fig2" } else { "fig3" };
+    println!("global payoff U/C vs common CW, {mode} access (n = 5, 20, 50)");
+    let series = figures::figure(mode, 2048)?;
+    let mut body = Vec::new();
+    for s in &series {
+        let shape = s.shape();
+        body.push(vec![
+            s.n.to_string(),
+            shape.argmax_window.to_string(),
+            format!("{:.4}", shape.max_value),
+            format!("{:.4}", shape.at_min_window),
+            format!("{:.4}", shape.at_max_window),
+            format!("{:.2}%", 100.0 * shape.flatness_near_optimum),
+        ]);
+    }
+    println!(
+        "{}",
+        text_table(
+            &["n", "argmax W", "max U/C", "U/C @ W=1", "U/C @ W_max", "loss ±20% of W*"],
+            &body
+        )
+    );
+    // Simulated overlay: measured U/C at three probe windows per curve.
+    for s_ in &series {
+        let shape = s_.shape();
+        let probes = [
+            (shape.argmax_window / 4).max(1),
+            shape.argmax_window,
+            shape.argmax_window * 3,
+        ];
+        let overlay = figures::simulated_overlay(
+            s_.n,
+            mode,
+            &probes,
+            MicroSecs::from_seconds(30.0),
+            7,
+        )?;
+        let rendered: Vec<String> = overlay
+            .iter()
+            .map(|p| format!("W={} → {:.4}", p.window, p.u_over_c))
+            .collect();
+        println!("  n = {:>2} simulated U/C: {}", s_.n, rendered.join(", "));
+    }
+    // A coarse ASCII rendering of the n = 20 curve, for eyeballing.
+    if let Some(s) = series.iter().find(|s| s.n == 20) {
+        let max = s.points.iter().map(|p| p.u_over_c).fold(f64::MIN, f64::max);
+        println!("n = 20 curve (each ▪ ≈ 2% of peak):");
+        for p in s.points.iter().step_by((s.points.len() / 18).max(1)) {
+            let bars = ((p.u_over_c / max) * 50.0).max(0.0) as usize;
+            println!("  W = {:>5}: {}", p.window, "▪".repeat(bars));
+        }
+    }
+    let path = write_artifact(fig_name, &series)?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn multihop(quick: bool) -> Result<(), BenchError> {
+    let settings = if quick {
+        multihop_exp::MultihopSettings::quick()
+    } else {
+        multihop_exp::MultihopSettings::full()
+    };
+    println!(
+        "multi-hop scenario: {} nodes, random waypoint, RTS/CTS, {} s/point",
+        settings.n,
+        settings.duration.to_seconds()
+    );
+    let out = multihop_exp::run(settings)?;
+    println!(
+        "topology: connected = {}, diameter = {:?}, degree min/avg/max = {}/{:.1}/{}",
+        out.connected, out.diameter, out.degrees.0, out.degrees.1, out.degrees.2
+    );
+    println!(
+        "local windows in [{}, {}]; TFT converged to W_m = {} in {} rounds (paper run: 26)",
+        out.local_window_range.0, out.local_window_range.1, out.w_m, out.convergence_rounds
+    );
+    let body: Vec<Vec<String>> = out
+        .quality
+        .global_sweep
+        .iter()
+        .map(|s| vec![s.window.to_string(), format!("{:.4e}", s.payoff)])
+        .collect();
+    println!("{}", text_table(&["common W", "global payoff /µs"], &body));
+    println!(
+        "global fraction at W_m: {:.1}%   (paper: ≥ 97%)",
+        100.0 * out.quality.global_fraction
+    );
+    println!(
+        "min sampled local fraction: {:.1}%   (paper: ≥ 96%; rises with measurement length)",
+        100.0 * out.quality.min_local_fraction()
+    );
+    let body: Vec<Vec<String>> = out
+        .p_hn_by_window
+        .iter()
+        .map(|(w, p, a)| vec![w.to_string(), format!("{p:.3}"), format!("{a:.3}")])
+        .collect();
+    println!(
+        "{}",
+        text_table(&["common W", "p_hn (measured)", "p_hn (analytic)"], &body)
+    );
+    let path = write_artifact("multihop", &out)?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn shortsighted() -> Result<(), BenchError> {
+    println!("optimal deviation of a short-sighted player, n = 5, 1-stage TFT reaction");
+    let rows =
+        deviation_exp::shortsighted_table(5, 1, &[0.0, 0.5, 0.9, 0.99, 0.999, 0.9999])?;
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.delta_s),
+                r.w_s.to_string(),
+                format!("{:+.2}%", 100.0 * r.relative_gain),
+                format!("{:+.2}%", 100.0 * r.victim_relative_loss),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["δ_s", "W_s(δ_s)", "deviator gain", "victim loss"], &body));
+    println!("reaction-lag ablation at δ_s = 0.9:");
+    let lag_rows = deviation_exp::reaction_table(5, 0.9, &[1, 2, 5, 10])?;
+    let body: Vec<Vec<String>> = lag_rows
+        .iter()
+        .map(|r| vec![r.reaction_stages.to_string(), format!("{:+.2}%", 100.0 * r.relative_gain)])
+        .collect();
+    println!("{}", text_table(&["reaction m", "deviator gain"], &body));
+    let path = write_artifact("shortsighted", &(rows, lag_rows))?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn malicious() -> Result<(), BenchError> {
+    println!("malicious player pins W_mal; TFT drags the network down (n = 20)");
+    let rows = deviation_exp::malicious_table(20, &[128, 64, 16, 4, 1])?;
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.w_mal.to_string(),
+                format!("{:.1}%", 100.0 * r.remaining_fraction),
+                if r.collapsed { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["W_mal", "welfare remaining", "collapsed"], &body));
+    let path = write_artifact("malicious", &rows)?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn search(quick: bool) -> Result<(), BenchError> {
+    println!("Section V.C distributed search, n = 5");
+    let rows = search_exp::analytic_search_table(5, &[10, 40, 79, 150, 400])?;
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.w0.to_string(),
+                r.w_found.to_string(),
+                r.w_star.to_string(),
+                r.measurements.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["W₀", "found", "W_c*", "measurements"], &body));
+    let measure = if quick { 10.0 } else { 60.0 };
+    let sim = search_exp::simulated_search(5, 60, measure, 0.002, 11)?;
+    println!(
+        "noisy (simulated, t_m = {measure} s): from W₀ = {} found {} (true {}, error {:.1}%)",
+        sim.w0,
+        sim.w_found,
+        sim.w_star,
+        100.0 * sim.relative_error
+    );
+    let path = write_artifact("search", &(rows, sim))?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn ne_interval() -> Result<(), BenchError> {
+    println!("Theorem 2 symmetric-NE intervals [W_c⁰, W_c*]");
+    let rows = search_exp::interval_table(&[2, 5, 10, 20, 50])?;
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.lower.to_string(),
+                r.upper.to_string(),
+                r.count.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["n", "W_c⁰", "W_c*", "# NE"], &body));
+    let path = write_artifact("ne_interval", &rows)?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn convergence() -> Result<(), BenchError> {
+    println!("TFT convergence from heterogeneous starts (analytic stage evaluation)");
+    let rows = search_exp::tft_convergence_table(&[
+        vec![100, 60, 150, 90],
+        vec![500, 20, 300, 80, 76],
+        vec![76; 5],
+        vec![13, 11, 9, 7, 5, 3],
+    ])?;
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.initials),
+                format!("{:?}", r.converged_at_stage),
+                format!("{:?}", r.window),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["initial windows", "converged at", "window"], &body));
+    let path = write_artifact("convergence", &rows)?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn delay() -> Result<(), BenchError> {
+    println!("extension: delay-aware efficient NE (paper Discussion), n = 5");
+    let lambdas = [0.0, 1e-11, 1e-10, 3e-10, 1e-9, 3e-9];
+    let mut artifacts = Vec::new();
+    for mode in AccessMode::ALL {
+        let rows = extensions_exp::delay_table(5, mode, &lambdas)?;
+        println!("{mode} access:");
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0e}", r.lambda),
+                    r.window.to_string(),
+                    format!("{:.1}", r.delay_ms),
+                    format!("{:.3e}", r.utility),
+                ]
+            })
+            .collect();
+        println!("{}", text_table(&["λ", "W*(λ)", "delay (ms)", "utility /µs"], &body));
+        artifacts.push((mode, rows));
+    }
+    println!("→ basic: collisions dominate both metrics, optima coincide;");
+    println!("  RTS/CTS: cheap collisions let delay-sensitive nodes go aggressive.");
+    let path = write_artifact("delay", &artifacts)?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn ratecontrol() -> Result<(), BenchError> {
+    println!("extension: selfish PHY-rate game (paper Conclusion), common CW = 48, RTS/CTS");
+    let rows = extensions_exp::rate_table(&[3, 5, 10, 20], 48)?;
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                format!("{} Mbit/s", r.ne_rate_mbps),
+                r.ne_is_social_optimum.to_string(),
+                format!("{:.1}%", 100.0 * r.anomaly_damage),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(&["n", "NE rate", "NE = social optimum", "1-slow-node damage"], &body)
+    );
+    let path = write_artifact("ratecontrol", &rows)?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn tournament() -> Result<(), BenchError> {
+    println!("extension: Axelrod-style round robin on the MAC game (2-player matches)");
+    let standings = extensions_exp::tournament_ranking(25)?;
+    let body: Vec<Vec<String>> = standings
+        .iter()
+        .enumerate()
+        .map(|(i, s)| vec![(i + 1).to_string(), s.name.clone(), format!("{:.0}", s.total)])
+        .collect();
+    println!("{}", text_table(&["rank", "strategy", "total payoff"], &body));
+    println!("replicator population dynamics over the same payoff matrix (500 gens):");
+    let shares = extensions_exp::evolutionary_shares(25, 500)?;
+    let body: Vec<Vec<String>> = shares
+        .iter()
+        .map(|(name, share)| vec![name.clone(), format!("{:.1}%", 100.0 * share)])
+        .collect();
+    println!("{}", text_table(&["strategy", "final population share"], &body));
+    let path = write_artifact("tournament", &(standings, shares))?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn validate(quick: bool) -> Result<(), BenchError> {
+    use macgame_dcf::DcfParams;
+    use macgame_sim::validate_fixed_point;
+    let slots = if quick { 200_000 } else { 1_000_000 };
+    println!("model-vs-simulator validation at the efficient NE ({slots} slots/run)");
+    let mut rows_out = Vec::new();
+    let mut body = Vec::new();
+    for mode in AccessMode::ALL {
+        let params = DcfParams::builder().access_mode(mode).build()?;
+        for n in [5usize, 20, 50] {
+            let ne = macgame_dcf::optimal::efficient_cw(
+                n,
+                &params,
+                &macgame_dcf::UtilityParams::default(),
+                4096,
+            )?;
+            let report =
+                validate_fixed_point(&vec![ne.window; n], &params, slots, 42)?;
+            body.push(vec![
+                mode.to_string(),
+                n.to_string(),
+                ne.window.to_string(),
+                format!("{:.2}%", 100.0 * report.max_tau_error()),
+                format!("{:.2}%", 100.0 * report.max_p_error()),
+                format!("{:.2}%", 100.0 * report.throughput_relative_error()),
+            ]);
+            rows_out.push((mode, n, report));
+        }
+    }
+    println!(
+        "{}",
+        text_table(
+            &["mode", "n", "W_c*", "max τ̂ err", "max p̂ err", "S err"],
+            &body
+        )
+    );
+    let path = write_artifact("validate", &rows_out)?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn myopia() -> Result<(), BenchError> {
+    println!("price of myopia (Discussion §VIII): stage best responders vs TFT");
+    let rows = deviation_exp::myopia_table(&[3, 5, 10, 20])?;
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.w_star.to_string(),
+                format!("[{}, {}]", r.myopic_windows.0, r.myopic_windows.1),
+                format!("{:.1}%", 100.0 * r.welfare_ratio),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(&["n", "TFT W_c*", "myopic windows", "welfare remaining"], &body)
+    );
+    let path = write_artifact("myopia", &rows)?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}

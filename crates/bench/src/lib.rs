@@ -1,0 +1,100 @@
+//! Experiment harness: the code behind every table and figure of the
+//! paper, shared by the Criterion benches and the `repro` binary.
+//!
+//! Run `cargo run --release -p macgame-bench --bin repro -- all` to
+//! regenerate everything (add `--quick` for a fast pass); each experiment
+//! prints the paper-value comparison and writes a JSON artifact under
+//! `artifacts/`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod deviation_exp;
+pub mod extensions_exp;
+pub mod figures;
+pub mod multihop_exp;
+pub mod render;
+pub mod search_exp;
+pub mod tables;
+
+use core::fmt;
+
+/// Errors surfaced by the harness.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// Analytical-model error.
+    Model(macgame_dcf::DcfError),
+    /// Simulator error.
+    Sim(macgame_sim::SimError),
+    /// Game-layer error.
+    Game(macgame_core::GameError),
+    /// Multi-hop layer error.
+    Multihop(macgame_multihop::MultihopError),
+    /// Filesystem error while writing artifacts.
+    Io(std::io::Error),
+    /// Artifact serialization error.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Model(e) => write!(f, "model error: {e}"),
+            BenchError::Sim(e) => write!(f, "simulation error: {e}"),
+            BenchError::Game(e) => write!(f, "game error: {e}"),
+            BenchError::Multihop(e) => write!(f, "multihop error: {e}"),
+            BenchError::Io(e) => write!(f, "io error: {e}"),
+            BenchError::Json(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Model(e) => Some(e),
+            BenchError::Sim(e) => Some(e),
+            BenchError::Game(e) => Some(e),
+            BenchError::Multihop(e) => Some(e),
+            BenchError::Io(e) => Some(e),
+            BenchError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<macgame_dcf::DcfError> for BenchError {
+    fn from(e: macgame_dcf::DcfError) -> Self {
+        BenchError::Model(e)
+    }
+}
+
+impl From<macgame_sim::SimError> for BenchError {
+    fn from(e: macgame_sim::SimError) -> Self {
+        BenchError::Sim(e)
+    }
+}
+
+impl From<macgame_core::GameError> for BenchError {
+    fn from(e: macgame_core::GameError) -> Self {
+        BenchError::Game(e)
+    }
+}
+
+impl From<macgame_multihop::MultihopError> for BenchError {
+    fn from(e: macgame_multihop::MultihopError) -> Self {
+        BenchError::Multihop(e)
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for BenchError {
+    fn from(e: serde_json::Error) -> Self {
+        BenchError::Json(e)
+    }
+}

@@ -1,0 +1,363 @@
+//! Deviation analyses: short-sighted players (paper Section V.D) and
+//! malicious players (Section V.E).
+//!
+//! A deviator `s` plays `W_s < W_c*` while the TFT crowd needs `m ≥ 1`
+//! stages to react; afterwards everyone sits at `W_s`. Its total payoff is
+//!
+//! ```text
+//! U_s = (1 − δ_s^m)/(1 − δ_s) · U_s^s(W*, …, W_s, …, W*)
+//!     +        δ_s^m/(1 − δ_s) · U_s^s(W_s, …, W_s)
+//! ```
+//!
+//! versus `U_s⁰ = U_s^s(W*, …, W*)/(1 − δ_s)` for compliance. Extremely
+//! short-sighted players (`δ_s → 0`) profit from deviation at the crowd's
+//! expense; long-sighted ones do not — the crux of why TFT sustains the
+//! efficient NE.
+
+use macgame_dcf::fixedpoint::{solve, solve_symmetric, SolveOptions};
+use macgame_dcf::utility::{all_utilities, node_utility};
+use serde::{Deserialize, Serialize};
+
+use crate::error::GameError;
+use crate::game::GameConfig;
+
+/// Per-stage utilities (per µs) when one deviator plays `w_dev` against
+/// `n − 1` players at `w_others`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviatorStage {
+    /// The deviator's stage utility rate.
+    pub deviator: f64,
+    /// Each compliant player's stage utility rate.
+    pub compliant: f64,
+}
+
+/// Computes the stage utilities with a single deviator (paper Lemma 4's
+/// setting).
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn deviator_stage(
+    game: &GameConfig,
+    w_others: u32,
+    w_dev: u32,
+) -> Result<DeviatorStage, GameError> {
+    let n = game.player_count();
+    if n < 2 {
+        return Err(GameError::InvalidConfig("deviation needs at least two players".into()));
+    }
+    let mut profile = vec![w_others; n];
+    profile[0] = w_dev;
+    let eq = solve(&profile, game.params(), SolveOptions::default())?;
+    let us = all_utilities(&eq.taus, &eq.collision_probs, game.params(), game.utility());
+    Ok(DeviatorStage { deviator: us[0], compliant: us[1] })
+}
+
+/// Stage utility rate (per µs) when all `n` players sit on `w`.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn symmetric_stage(game: &GameConfig, w: u32) -> Result<f64, GameError> {
+    let n = game.player_count();
+    let sym = solve_symmetric(n, w, game.params())?;
+    let taus = vec![sym.tau; n];
+    let ps = vec![sym.collision_prob; n];
+    Ok(node_utility(0, &taus, &ps, game.params(), game.utility()))
+}
+
+/// Full accounting of a short-sighted deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviationOutcome {
+    /// The window the deviator drops to.
+    pub w_s: u32,
+    /// The deviator's own discount factor `δ_s`.
+    pub delta_s: f64,
+    /// Stages the TFT crowd needs to react.
+    pub reaction_stages: u32,
+    /// Deviator's total discounted payoff under the deviation.
+    pub deviant_payoff: f64,
+    /// Deviator's total discounted payoff if it had complied with `W_c*`.
+    pub compliant_payoff: f64,
+    /// Each other player's total discounted payoff while the deviation
+    /// plays out (evaluated at the *deviator's* discount for comparability).
+    pub victim_payoff: f64,
+}
+
+impl DeviationOutcome {
+    /// Whether deviating strictly beats complying.
+    #[must_use]
+    pub fn profitable(&self) -> bool {
+        self.deviant_payoff > self.compliant_payoff
+    }
+
+    /// Net gain (possibly negative) from deviating.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.deviant_payoff - self.compliant_payoff
+    }
+}
+
+/// Evaluates a short-sighted deviation to `w_s` from the common window
+/// `w_star`, with `reaction_stages ≥ 1` lag and deviator discount
+/// `delta_s ∈ [0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use macgame_core::deviation::shortsighted_deviation;
+/// use macgame_core::GameConfig;
+///
+/// let game = GameConfig::builder(5).build()?;
+/// // A fully myopic player (δ_s = 0) profits from undercutting W* = 79…
+/// let myopic = shortsighted_deviation(&game, 79, 20, 1, 0.0)?;
+/// assert!(myopic.profitable());
+/// // …a long-sighted one does not.
+/// let patient = shortsighted_deviation(&game, 79, 20, 1, 0.999)?;
+/// assert!(!patient.profitable());
+/// # Ok::<(), macgame_core::GameError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidConfig`] for a zero reaction lag or an
+/// out-of-range discount; propagates solver failures.
+pub fn shortsighted_deviation(
+    game: &GameConfig,
+    w_star: u32,
+    w_s: u32,
+    reaction_stages: u32,
+    delta_s: f64,
+) -> Result<DeviationOutcome, GameError> {
+    if reaction_stages == 0 {
+        return Err(GameError::InvalidConfig("TFT reaction takes at least one stage".into()));
+    }
+    if !(0.0..1.0).contains(&delta_s) {
+        return Err(GameError::InvalidConfig("deviator discount must be in [0, 1)".into()));
+    }
+    let t = game.stage_duration().value();
+    let during = deviator_stage(game, w_star, w_s)?;
+    let after = symmetric_stage(game, w_s)?;
+    let at_star = symmetric_stage(game, w_star)?;
+
+    let m = reaction_stages as i32;
+    let head = (1.0 - delta_s.powi(m)) / (1.0 - delta_s);
+    let tail = delta_s.powi(m) / (1.0 - delta_s);
+
+    let deviant_payoff = t * (head * during.deviator + tail * after);
+    let compliant_payoff = t * at_star / (1.0 - delta_s);
+    let victim_payoff = t * (head * during.compliant + tail * after);
+    Ok(DeviationOutcome {
+        w_s,
+        delta_s,
+        reaction_stages,
+        deviant_payoff,
+        compliant_payoff,
+        victim_payoff,
+    })
+}
+
+/// The deviator's optimal window `W_s(δ_s)`: the `w_s ∈ [1, w_star]`
+/// maximizing [`shortsighted_deviation`]'s payoff. For `δ_s → 1` this is
+/// `w_star` itself (Section V.D's conclusion).
+///
+/// # Errors
+///
+/// Same conditions as [`shortsighted_deviation`].
+pub fn optimal_shortsighted_deviation(
+    game: &GameConfig,
+    w_star: u32,
+    reaction_stages: u32,
+    delta_s: f64,
+) -> Result<DeviationOutcome, GameError> {
+    let mut best: Option<DeviationOutcome> = None;
+    for w_s in 1..=w_star {
+        let outcome = shortsighted_deviation(game, w_star, w_s, reaction_stages, delta_s)?;
+        if best.as_ref().map_or(true, |b| outcome.deviant_payoff > b.deviant_payoff) {
+            best = Some(outcome);
+        }
+    }
+    best.ok_or_else(|| GameError::InvalidConfig("empty deviation space".into()))
+}
+
+/// Impact of a malicious player pinned at `w_mal` (Section V.E): TFT drags
+/// the whole network to `w_mal`, degrading — or for small `w_mal`
+/// destroying — the social welfare.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaliciousImpact {
+    /// The malicious window.
+    pub w_mal: u32,
+    /// Social welfare rate (per µs) at the efficient NE.
+    pub welfare_at_ne: f64,
+    /// Social welfare rate once the network has converged to `w_mal`.
+    pub welfare_after: f64,
+}
+
+impl MaliciousImpact {
+    /// Remaining fraction of the NE welfare (negative when collapsed).
+    #[must_use]
+    pub fn remaining_fraction(&self) -> f64 {
+        self.welfare_after / self.welfare_at_ne
+    }
+
+    /// Whether the network is paralyzed (non-positive welfare).
+    #[must_use]
+    pub fn collapsed(&self) -> bool {
+        self.welfare_after <= 0.0
+    }
+}
+
+/// Computes the welfare impact of a malicious player dragging the network
+/// from the efficient window `w_star` down to `w_mal`.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn malicious_impact(
+    game: &GameConfig,
+    w_star: u32,
+    w_mal: u32,
+) -> Result<MaliciousImpact, GameError> {
+    let n = game.player_count() as f64;
+    let welfare_at_ne = n * symmetric_stage(game, w_star)?;
+    let welfare_after = n * symmetric_stage(game, w_mal)?;
+    Ok(MaliciousImpact { w_mal, welfare_at_ne, welfare_after })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macgame_dcf::optimal::efficient_cw;
+
+    fn game(n: usize) -> GameConfig {
+        GameConfig::builder(n).build().unwrap()
+    }
+
+    fn w_star(g: &GameConfig) -> u32 {
+        efficient_cw(g.player_count(), g.params(), g.utility(), g.w_max()).unwrap().window
+    }
+
+    #[test]
+    fn lemma4_downward_deviation_order() {
+        // W_i < W_k ⇒ U_others < U_sym < U_dev (stage payoffs).
+        let g = game(5);
+        let sym = symmetric_stage(&g, 100).unwrap();
+        let stage = deviator_stage(&g, 100, 40).unwrap();
+        assert!(stage.deviator > sym, "deviator {} vs sym {sym}", stage.deviator);
+        assert!(stage.compliant < sym, "compliant {} vs sym {sym}", stage.compliant);
+    }
+
+    #[test]
+    fn lemma4_upward_deviation_order() {
+        // W_i > W_k ⇒ U_dev < U_sym < U_others.
+        let g = game(5);
+        let sym = symmetric_stage(&g, 100).unwrap();
+        let stage = deviator_stage(&g, 100, 300).unwrap();
+        assert!(stage.deviator < sym);
+        assert!(stage.compliant > sym);
+    }
+
+    #[test]
+    fn myopic_deviator_profits() {
+        // δ_s → 0: only the first stage matters, so undercutting pays.
+        let g = game(5);
+        let ws = w_star(&g);
+        let outcome = shortsighted_deviation(&g, ws, ws / 2, 1, 0.0).unwrap();
+        assert!(outcome.profitable(), "gain = {}", outcome.gain());
+        assert!(outcome.victim_payoff < outcome.deviant_payoff);
+    }
+
+    #[test]
+    fn longsighted_deviator_does_not_profit() {
+        // δ_s close to 1: the punished tail dominates; compliance wins.
+        // The flat top around W_c* (the paper's robustness remark) lets a
+        // one-step deviation keep a vanishing gain in the discrete strategy
+        // space, so we assert gains are below ε·payoff rather than exactly
+        // non-positive.
+        let g = game(5);
+        let ws = w_star(&g);
+        for w_s in [1u32, ws / 4, ws / 2, ws - 1] {
+            let outcome = shortsighted_deviation(&g, ws, w_s, 1, 0.9999).unwrap();
+            let rel_gain = outcome.gain() / outcome.compliant_payoff;
+            assert!(
+                rel_gain < 1e-5,
+                "W_s = {w_s} profitable for long-sighted player (relative gain {rel_gain})"
+            );
+        }
+    }
+
+    #[test]
+    fn longsighted_optimum_is_w_star() {
+        // For δ_s → 1 the optimal 'deviation' is (up to the flat top of the
+        // discrete payoff curve) not to deviate.
+        let g = game(5);
+        let ws = w_star(&g);
+        let best = optimal_shortsighted_deviation(&g, ws, 1, 0.9999).unwrap();
+        assert!(best.w_s.abs_diff(ws) <= 2, "optimum {} vs W* = {ws}", best.w_s);
+        let rel = best.gain() / best.compliant_payoff;
+        assert!(rel < 1e-5, "relative gain {rel}");
+    }
+
+    #[test]
+    fn myopic_optimum_is_aggressive() {
+        let g = game(5);
+        let ws = w_star(&g);
+        let best = optimal_shortsighted_deviation(&g, ws, 1, 0.0).unwrap();
+        assert!(best.w_s < ws / 2, "myopic optimum W_s = {} vs W* = {ws}", best.w_s);
+    }
+
+    #[test]
+    fn slower_reaction_makes_deviation_sweeter() {
+        let g = game(5);
+        let ws = w_star(&g);
+        let quick = shortsighted_deviation(&g, ws, ws / 2, 1, 0.5).unwrap();
+        let slow = shortsighted_deviation(&g, ws, ws / 2, 5, 0.5).unwrap();
+        assert!(slow.deviant_payoff > quick.deviant_payoff);
+    }
+
+    #[test]
+    fn malicious_player_degrades_welfare() {
+        let g = game(5);
+        let ws = w_star(&g);
+        let impact = malicious_impact(&g, ws, ws / 4).unwrap();
+        assert!(impact.remaining_fraction() < 1.0);
+        assert!(!impact.collapsed());
+    }
+
+    #[test]
+    fn malicious_window_one_destroys_most_welfare() {
+        // With binary exponential backoff and g/e = 100, W = 1 does not
+        // drive the welfare literally negative (backoff escalation keeps
+        // p < 0.99), but it wipes out the bulk of it.
+        let g = game(20);
+        let ws = w_star(&g);
+        let impact = malicious_impact(&g, ws, 1).unwrap();
+        assert!(
+            impact.remaining_fraction() < 0.5,
+            "remaining fraction = {}",
+            impact.remaining_fraction()
+        );
+    }
+
+    #[test]
+    fn sufficiently_malicious_window_collapses_network() {
+        // For a denser network and a realistic energy cost the paralysis of
+        // Section V.E is literal: (1−p)·g < e at W = 1 and welfare < 0.
+        let g = GameConfig::builder(50)
+            .utility(macgame_dcf::UtilityParams { gain: 1.0, cost: 0.1 })
+            .build()
+            .unwrap();
+        let ws = w_star(&g);
+        let impact = malicious_impact(&g, ws, 1).unwrap();
+        assert!(impact.collapsed(), "welfare after = {}", impact.welfare_after);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = game(5);
+        assert!(shortsighted_deviation(&g, 76, 38, 0, 0.5).is_err());
+        assert!(shortsighted_deviation(&g, 76, 38, 1, 1.0).is_err());
+        let solo = game(1);
+        assert!(deviator_stage(&solo, 76, 38).is_err());
+    }
+}

@@ -1,0 +1,436 @@
+//! Nash equilibria of the repeated game and their refinement
+//! (paper Section V.A–V.B, Theorems 1–2).
+//!
+//! Theorem 2: every uniform profile `(W_c, …, W_c)` with
+//! `W_c⁰ ≤ W_c ≤ W_c*` is a NE of `G` under TFT — upward deviation is
+//! immediately unprofitable (Lemma 4), downward deviation triggers the TFT
+//! drop whose discounted punishment outweighs the short gain. The
+//! refinement (fairness, social-welfare maximization, Pareto optimality)
+//! singles out `(W_c*, …, W_c*)`.
+
+use macgame_dcf::optimal;
+use serde::{Deserialize, Serialize};
+
+use crate::deviation::{deviator_stage, shortsighted_deviation, symmetric_stage};
+use crate::error::GameError;
+use crate::game::GameConfig;
+
+pub use macgame_dcf::optimal::{EfficientNe, NeInterval};
+
+/// The efficient NE `(W_c*, …, W_c*)` of the game: the exact argmax of the
+/// symmetric utility over the strategy space.
+///
+/// # Errors
+///
+/// Propagates [`GameError::Model`] from the underlying optimizer.
+pub fn efficient_ne(game: &GameConfig) -> Result<EfficientNe, GameError> {
+    Ok(optimal::efficient_cw(game.player_count(), game.params(), game.utility(), game.w_max())?)
+}
+
+/// The paper's variant of `W_c*`: inverted from the continuous `τ_c*`
+/// under `g ≫ e` (see `macgame_dcf::optimal::efficient_cw_from_tau_star`).
+///
+/// # Errors
+///
+/// Propagates [`GameError::Model`] from the underlying optimizer.
+pub fn efficient_ne_tau_star(game: &GameConfig) -> Result<EfficientNe, GameError> {
+    Ok(optimal::efficient_cw_from_tau_star(game.player_count(), game.params(), game.w_max())?)
+}
+
+/// The Theorem 2 interval `[W_c⁰, W_c*]` of symmetric NE.
+///
+/// # Errors
+///
+/// Propagates [`GameError::Model`] from the underlying optimizer.
+pub fn ne_interval(game: &GameConfig) -> Result<NeInterval, GameError> {
+    Ok(optimal::ne_interval(game.player_count(), game.params(), game.utility(), game.w_max())?)
+}
+
+/// Result of checking whether a uniform profile is a NE under TFT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeCheck {
+    /// The common window checked.
+    pub window: u32,
+    /// Whether no unilateral deviation is profitable.
+    pub is_ne: bool,
+    /// The most profitable deviation found, with its discounted gain
+    /// (present even when unprofitable, for diagnostics).
+    pub best_deviation: Option<(u32, f64)>,
+}
+
+/// Default relative tolerance for [`check_symmetric_ne`]: deviations whose
+/// gain is below this fraction of the compliant payoff do not disqualify a
+/// profile (ε-equilibrium semantics; see below).
+pub const DEFAULT_NE_EPSILON: f64 = 1e-5;
+
+/// Checks Theorem 2's NE property for the uniform profile `(w, …, w)` by
+/// explicit unilateral-deviation search.
+///
+/// Downward deviations `w' < w` are priced with the TFT punishment
+/// (deviator enjoys `reaction_stages` stages, then everyone sits at `w'`);
+/// upward deviations `w' > w` are priced the same way (the deviator is
+/// disfavored immediately, Lemma 4, and TFT would pull it back — we charge
+/// only the immediate loss, which already suffices).
+///
+/// `epsilon` makes this an **ε-equilibrium check**: a deviation only
+/// disqualifies `w` if its discounted gain exceeds `epsilon` × the
+/// compliant payoff. This is necessary because the strategy space is
+/// discrete and the paper's own Figures 2–3 observation — "CW values near
+/// `W_c*` yield almost the same global and local payoff" — means a
+/// one-step deviation from the integer `W_c*` can eke out a vanishing gain
+/// that the continuous theory rounds away. Use
+/// [`DEFAULT_NE_EPSILON`] unless you study that effect itself.
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidConfig`] for `w` outside the strategy space
+/// or a negative `epsilon`; propagates solver failures.
+pub fn check_symmetric_ne(
+    game: &GameConfig,
+    w: u32,
+    reaction_stages: u32,
+    epsilon: f64,
+) -> Result<NeCheck, GameError> {
+    if epsilon < 0.0 {
+        return Err(GameError::InvalidConfig("epsilon must be non-negative".into()));
+    }
+    if w == 0 || w > game.w_max() {
+        return Err(GameError::InvalidConfig(format!(
+            "window {w} outside strategy space [1, {}]",
+            game.w_max()
+        )));
+    }
+    // A NE candidate must first be individually rational (non-negative
+    // payoff; Theorem 2 excludes W_c < W_c⁰).
+    let at_w = symmetric_stage(game, w)?;
+    if at_w < 0.0 {
+        return Ok(NeCheck { window: w, is_ne: false, best_deviation: None });
+    }
+    let t = game.stage_duration().value();
+    let delta = game.discount();
+    let compliant_total = t * at_w / (1.0 - delta);
+
+    let mut best: Option<(u32, f64)> = None;
+    // Downward deviations: full TFT-punishment pricing.
+    for w_dev in 1..w {
+        let outcome = shortsighted_deviation(game, w, w_dev, reaction_stages, delta)?;
+        let gain = outcome.deviant_payoff - compliant_total;
+        if best.map_or(true, |(_, g)| gain > g) {
+            best = Some((w_dev, gain));
+        }
+    }
+    // Upward deviations: the deviator's stage payoff drops immediately and
+    // stays no better after everyone is back at w; price one deviated stage.
+    let probe_ups: Vec<u32> = [w + 1, w.saturating_mul(2), game.w_max()]
+        .into_iter()
+        .filter(|&x| x > w && x <= game.w_max())
+        .collect();
+    for w_dev in probe_ups {
+        let stage = deviator_stage(game, w, w_dev)?;
+        let gain = t * (stage.deviator - at_w); // one stage of difference
+        if best.map_or(true, |(_, g)| gain > g) {
+            best = Some((w_dev, gain));
+        }
+    }
+    let is_ne = best.map_or(true, |(_, g)| g <= epsilon * compliant_total.abs().max(1.0));
+    Ok(NeCheck { window: w, is_ne, best_deviation: best })
+}
+
+/// Which refinement criteria a symmetric NE satisfies (Section V.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Refinement {
+    /// The window assessed.
+    pub window: u32,
+    /// TFT equalizes payoffs, so every symmetric NE is fair.
+    pub fair: bool,
+    /// Whether this window maximizes the social welfare among the NE.
+    pub social_welfare_maximal: bool,
+    /// Whether this window is Pareto-optimal among the NE.
+    pub pareto_optimal: bool,
+}
+
+/// Applies the Section V.B refinement to every NE in the Theorem 2
+/// interval; exactly one (the efficient NE) survives all criteria.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn refine(game: &GameConfig, interval: NeInterval) -> Result<Vec<Refinement>, GameError> {
+    let mut utilities = Vec::new();
+    for w in interval.lower..=interval.upper {
+        utilities.push((w, symmetric_stage(game, w)?));
+    }
+    let best =
+        utilities.iter().map(|&(_, u)| u).fold(f64::NEG_INFINITY, f64::max);
+    Ok(utilities
+        .into_iter()
+        .map(|(window, u)| {
+            // In the symmetric game, welfare = n·u, so welfare-maximal and
+            // Pareto-optimal coincide: any other uniform NE changes every
+            // player's payoff in the same direction.
+            let maximal = (u - best).abs() <= f64::EPSILON * best.abs().max(1.0);
+            Refinement {
+                window,
+                fair: true,
+                social_welfare_maximal: maximal,
+                pareto_optimal: maximal,
+            }
+        })
+        .collect())
+}
+
+
+/// Fixed point of *myopic* best-response dynamics, and its welfare cost.
+///
+/// The Discussion section reconciles the paper with Cagalj et al.'s
+/// "selfish CSMA/CA leads to collapse": short-sighted players play the
+/// stage best response instead of TFT, and the resulting equilibrium sits
+/// at small windows with degraded welfare. This function computes that
+/// fixed point by iterating per-player stage best responses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MyopicOutcome {
+    /// The profile the dynamics reached.
+    pub profile: Vec<u32>,
+    /// Whether it is a fixed point (every player best-responding).
+    pub converged: bool,
+    /// Rounds of sequential best response performed.
+    pub rounds: usize,
+    /// Social welfare rate (per µs) at the myopic profile.
+    pub myopic_welfare: f64,
+    /// Social welfare rate at the TFT-sustained efficient NE.
+    pub efficient_welfare: f64,
+}
+
+impl MyopicOutcome {
+    /// Welfare surviving myopia: `myopic / efficient` (the paper's story
+    /// in one number; < 1 whenever myopia hurts).
+    #[must_use]
+    pub fn welfare_ratio(&self) -> f64 {
+        self.myopic_welfare / self.efficient_welfare
+    }
+}
+
+/// Iterates sequential stage best responses from `start` until a fixed
+/// point or `max_rounds` sweeps, then prices the outcome against the
+/// efficient NE.
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidConfig`] for an empty or out-of-space
+/// start profile; propagates solver failures.
+pub fn myopic_dynamics(
+    game: &GameConfig,
+    start: &[u32],
+    max_rounds: usize,
+) -> Result<MyopicOutcome, GameError> {
+    use macgame_dcf::fixedpoint::{solve, SolveOptions};
+    use macgame_dcf::utility::{all_utilities, node_utility};
+    let n = game.player_count();
+    if start.len() != n {
+        return Err(GameError::InvalidConfig(format!(
+            "{} windows for {} players",
+            start.len(),
+            n
+        )));
+    }
+    if start.iter().any(|&w| w == 0 || w > game.w_max()) {
+        return Err(GameError::InvalidConfig("start profile outside strategy space".into()));
+    }
+    let utility_of = |player: usize, profile: &[u32]| -> Result<f64, GameError> {
+        let eq = solve(profile, game.params(), SolveOptions::default())?;
+        Ok(node_utility(player, &eq.taus, &eq.collision_probs, game.params(), game.utility()))
+    };
+    // Per-player best response by bracket + local sweep (the utility in
+    // own W against a fixed field is unimodal).
+    let best_response = |player: usize, profile: &[u32]| -> Result<u32, GameError> {
+        let mut work = profile.to_vec();
+        let u_at = |w: u32, work: &mut Vec<u32>| -> Result<f64, GameError> {
+            work[player] = w;
+            utility_of(player, work)
+        };
+        let w_max = game.w_max();
+        let mut hi = 2u32;
+        let mut prev = u_at(1, &mut work)?;
+        while hi <= w_max {
+            let cur = u_at(hi, &mut work)?;
+            if cur < prev {
+                break;
+            }
+            prev = cur;
+            hi = hi.saturating_mul(2);
+        }
+        let (mut lo, mut hi) = (1u32, hi.min(w_max));
+        while hi - lo > 8 {
+            let m1 = lo + (hi - lo) / 3;
+            let m2 = hi - (hi - lo) / 3;
+            if u_at(m1, &mut work)? < u_at(m2, &mut work)? {
+                lo = m1 + 1;
+            } else {
+                hi = m2 - 1;
+            }
+        }
+        let mut best = (lo, f64::NEG_INFINITY);
+        for w in lo.saturating_sub(4).max(1)..=(hi + 4).min(w_max) {
+            let u = u_at(w, &mut work)?;
+            if u > best.1 {
+                best = (w, u);
+            }
+        }
+        Ok(best.0)
+    };
+
+    let mut profile = start.to_vec();
+    let mut converged = false;
+    let mut rounds = 0usize;
+    for round in 0..max_rounds {
+        rounds = round + 1;
+        let mut changed = false;
+        for player in 0..n {
+            let br = best_response(player, &profile)?;
+            if br != profile[player] {
+                profile[player] = br;
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+    let eq = macgame_dcf::fixedpoint::solve(
+        &profile,
+        game.params(),
+        macgame_dcf::fixedpoint::SolveOptions::default(),
+    )?;
+    let myopic_welfare: f64 =
+        all_utilities(&eq.taus, &eq.collision_probs, game.params(), game.utility())
+            .iter()
+            .sum();
+    let ne = efficient_ne(game)?;
+    let efficient_welfare = n as f64 * ne.utility;
+    Ok(MyopicOutcome { profile, converged, rounds, myopic_welfare, efficient_welfare })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn game(n: usize) -> GameConfig {
+        GameConfig::builder(n).build().unwrap()
+    }
+
+    #[test]
+    fn efficient_ne_is_in_interval() {
+        let g = game(5);
+        let ne = efficient_ne(&g).unwrap();
+        let interval = ne_interval(&g).unwrap();
+        assert_eq!(interval.upper, ne.window);
+        assert!(interval.lower <= interval.upper);
+    }
+
+    #[test]
+    fn efficient_window_is_ne() {
+        let g = game(5);
+        let ne = efficient_ne(&g).unwrap();
+        let check = check_symmetric_ne(&g, ne.window, 1, DEFAULT_NE_EPSILON).unwrap();
+        assert!(check.is_ne, "best deviation: {:?}", check.best_deviation);
+    }
+
+    #[test]
+    fn interior_interval_windows_are_ne() {
+        let g = game(5);
+        let interval = ne_interval(&g).unwrap();
+        let mid = (interval.lower + interval.upper) / 2;
+        let check = check_symmetric_ne(&g, mid, 1, DEFAULT_NE_EPSILON).unwrap();
+        assert!(check.is_ne, "W = {mid}, best deviation: {:?}", check.best_deviation);
+    }
+
+    #[test]
+    fn far_above_efficient_is_not_ne() {
+        // Way above W_c*, dropping to W_c* is profitable even with TFT
+        // punishment (the punished tail *is* the efficient point).
+        let g = game(5);
+        let ne = efficient_ne(&g).unwrap();
+        let check = check_symmetric_ne(&g, ne.window * 4, 1, DEFAULT_NE_EPSILON).unwrap();
+        assert!(!check.is_ne);
+        let (w_dev, gain) = check.best_deviation.unwrap();
+        assert!(w_dev < ne.window * 4);
+        assert!(gain > 0.0);
+    }
+
+    #[test]
+    fn refinement_selects_unique_efficient_ne() {
+        let g = game(5);
+        let interval = ne_interval(&g).unwrap();
+        let refinements = refine(&g, interval).unwrap();
+        let survivors: Vec<_> =
+            refinements.iter().filter(|r| r.pareto_optimal && r.social_welfare_maximal).collect();
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].window, interval.upper);
+        assert!(refinements.iter().all(|r| r.fair));
+    }
+
+    #[test]
+    fn tau_star_variant_close_to_exact() {
+        let g = game(5);
+        let exact = efficient_ne(&g).unwrap().window;
+        let variant = efficient_ne_tau_star(&g).unwrap().window;
+        assert!(exact.abs_diff(variant) <= 6, "exact {exact} vs τ*-inversion {variant}");
+    }
+
+    #[test]
+    fn check_rejects_out_of_space_window() {
+        let g = game(3);
+        assert!(check_symmetric_ne(&g, 0, 1, DEFAULT_NE_EPSILON).is_err());
+        assert!(check_symmetric_ne(&g, g.w_max() + 1, 1, DEFAULT_NE_EPSILON).is_err());
+        assert!(check_symmetric_ne(&g, 8, 1, -0.1).is_err());
+    }
+
+    #[test]
+    fn negative_payoff_windows_are_not_ne() {
+        // With a big attempt cost, tiny windows yield negative payoff for
+        // n = 20 and cannot be equilibria (Theorem 2's lower cut).
+        let g = GameConfig::builder(20)
+            .utility(macgame_dcf::UtilityParams { gain: 1.0, cost: 0.5 })
+            .build()
+            .unwrap();
+        let check = check_symmetric_ne(&g, 1, 1, DEFAULT_NE_EPSILON).unwrap();
+        assert!(!check.is_ne);
+    }
+
+    #[test]
+    fn myopic_dynamics_collapse_to_small_windows() {
+        // The Discussion-section story: stage best responders end far below
+        // the efficient window, with visibly degraded welfare.
+        let g = game(5);
+        let ne = efficient_ne(&g).unwrap();
+        let out = myopic_dynamics(&g, &[ne.window; 5], 12).unwrap();
+        assert!(out.converged, "dynamics should reach a fixed point");
+        assert!(
+            out.profile.iter().all(|&w| w < ne.window / 2),
+            "myopic profile {:?} vs W* {}",
+            out.profile,
+            ne.window
+        );
+        assert!(out.welfare_ratio() < 0.95, "ratio {}", out.welfare_ratio());
+        assert!(out.welfare_ratio() > 0.0);
+    }
+
+    #[test]
+    fn myopic_fixed_point_is_start_independent() {
+        let g = game(4);
+        let a = myopic_dynamics(&g, &[10; 4], 12).unwrap();
+        let b = myopic_dynamics(&g, &[500; 4], 12).unwrap();
+        // Same fixed point (up to the flat-top tolerance of the searches).
+        for (x, y) in a.profile.iter().zip(&b.profile) {
+            assert!(x.abs_diff(*y) <= 2, "{:?} vs {:?}", a.profile, b.profile);
+        }
+    }
+
+    #[test]
+    fn myopic_validation() {
+        let g = game(3);
+        assert!(myopic_dynamics(&g, &[10, 10], 5).is_err());
+        assert!(myopic_dynamics(&g, &[0, 10, 10], 5).is_err());
+    }
+}

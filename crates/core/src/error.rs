@@ -1,0 +1,70 @@
+//! Error types for the game layer.
+
+use core::fmt;
+
+/// Errors produced by the game-theoretic layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GameError {
+    /// A game configuration value was rejected.
+    InvalidConfig(String),
+    /// An analytical-model error.
+    Model(macgame_dcf::DcfError),
+    /// A simulator error.
+    Sim(macgame_sim::SimError),
+    /// The equilibrium search ran out of strategy space or measurements.
+    SearchFailed(String),
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::InvalidConfig(reason) => write!(f, "invalid game config: {reason}"),
+            GameError::Model(e) => write!(f, "model error: {e}"),
+            GameError::Sim(e) => write!(f, "simulation error: {e}"),
+            GameError::SearchFailed(reason) => write!(f, "equilibrium search failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GameError::Model(e) => Some(e),
+            GameError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<macgame_dcf::DcfError> for GameError {
+    fn from(e: macgame_dcf::DcfError) -> Self {
+        GameError::Model(e)
+    }
+}
+
+impl From<macgame_sim::SimError> for GameError {
+    fn from(e: macgame_sim::SimError) -> Self {
+        GameError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_variants() {
+        assert!(GameError::InvalidConfig("x".into()).to_string().contains("invalid game config"));
+        assert!(GameError::SearchFailed("y".into()).to_string().contains("search failed"));
+        let m = GameError::from(macgame_dcf::DcfError::invalid("n", "z"));
+        assert!(m.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<GameError>();
+    }
+}

@@ -1,0 +1,299 @@
+//! Stage evaluation: mapping a strategy profile `W^k` to realized stage
+//! utilities and observations.
+//!
+//! Two evaluators are provided:
+//!
+//! * [`AnalyticalEvaluator`] — solves the heterogeneous fixed point of
+//!   `macgame_dcf` and returns exact expected utilities with perfect
+//!   observation (the regime of the paper's Sections IV–V);
+//! * [`SimulatedEvaluator`] — plays the stage on the slot-level simulator
+//!   and returns *measured* payoffs and *estimated* peer windows, i.e. the
+//!   noisy regime the GTFT tolerance parameters exist for (Section VII).
+
+use macgame_dcf::fixedpoint::{solve, SolveOptions};
+use macgame_dcf::utility::all_utilities;
+use macgame_sim::{estimate_windows, Engine, SimConfig};
+
+use crate::error::GameError;
+use crate::game::GameConfig;
+
+/// Outcome of evaluating one stage under a strategy profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageOutcome {
+    /// Per-player stage utilities `U_i^s = u_i·T`.
+    pub utilities: Vec<f64>,
+    /// The window profile as observable by the players (exact or
+    /// estimated, depending on the evaluator).
+    pub observed_windows: Vec<u32>,
+}
+
+/// Evaluates a strategy profile for one stage of the repeated game.
+///
+/// Object-safe so drivers can hold `Box<dyn StageEvaluator>`.
+pub trait StageEvaluator {
+    /// Plays one stage under `windows` and reports utilities/observations.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`GameError`] when the underlying model or
+    /// simulator rejects the profile.
+    fn evaluate(&mut self, windows: &[u32]) -> Result<StageOutcome, GameError>;
+}
+
+/// Exact expected utilities from the analytical fixed point, with perfect
+/// observation of the played profile.
+#[derive(Debug, Clone)]
+pub struct AnalyticalEvaluator {
+    game: GameConfig,
+    options: SolveOptions,
+}
+
+impl AnalyticalEvaluator {
+    /// Creates an evaluator for `game`.
+    #[must_use]
+    pub fn new(game: GameConfig) -> Self {
+        AnalyticalEvaluator { game, options: SolveOptions::default() }
+    }
+
+    /// Overrides the fixed-point solver options.
+    #[must_use]
+    pub fn with_options(mut self, options: SolveOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+impl StageEvaluator for AnalyticalEvaluator {
+    fn evaluate(&mut self, windows: &[u32]) -> Result<StageOutcome, GameError> {
+        let eq = solve(windows, self.game.params(), self.options)?;
+        let per_us =
+            all_utilities(&eq.taus, &eq.collision_probs, self.game.params(), self.game.utility());
+        let utilities = per_us.into_iter().map(|u| self.game.stage_utility(u)).collect();
+        Ok(StageOutcome { utilities, observed_windows: windows.to_vec() })
+    }
+}
+
+/// Measured utilities from a persistent slot-level simulation; peer windows
+/// are estimated from overheard traffic (promiscuous-mode observation).
+#[derive(Debug)]
+pub struct SimulatedEvaluator {
+    game: GameConfig,
+    engine: Engine,
+    /// Fall back to the true profile when estimation fails (too few
+    /// observations in a stage).
+    observe_exactly: bool,
+}
+
+impl SimulatedEvaluator {
+    /// Creates a simulated evaluator for `game`, seeding the engine with
+    /// `seed`. All players start on window `W_max` (maximally polite) until
+    /// the first profile is applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::Sim`] if the simulator rejects the
+    /// configuration.
+    pub fn new(game: GameConfig, seed: u64) -> Result<Self, GameError> {
+        let config = SimConfig::builder()
+            .params(*game.params())
+            .utility(*game.utility())
+            .symmetric(game.player_count(), game.w_max())
+            .seed(seed)
+            .build()?;
+        Ok(SimulatedEvaluator { game, engine: Engine::new(&config), observe_exactly: false })
+    }
+
+    /// Makes observation exact (players see the true profile) while
+    /// utilities stay measured. Useful to isolate payoff noise from
+    /// observation noise in experiments.
+    #[must_use]
+    pub fn with_exact_observation(mut self, exact: bool) -> Self {
+        self.observe_exactly = exact;
+        self
+    }
+
+    /// Access to the underlying engine (e.g. for clock inspection).
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl StageEvaluator for SimulatedEvaluator {
+    fn evaluate(&mut self, windows: &[u32]) -> Result<StageOutcome, GameError> {
+        self.engine.set_windows(windows)?;
+        let report = self.engine.run_for(self.game.stage_duration());
+        let utilities = (0..windows.len())
+            .map(|i| {
+                report.payoff_rate(i, self.game.utility()) * self.game.stage_duration().value()
+            })
+            .collect();
+        let observed_windows = if self.observe_exactly {
+            windows.to_vec()
+        } else {
+            match estimate_windows(
+                0,
+                &report,
+                self.game.params().max_backoff_stage(),
+                self.game.w_max(),
+            ) {
+                Ok(estimates) => {
+                    let mut observed: Vec<u32> = estimates.iter().map(|e| e.window).collect();
+                    // Each player knows its own window exactly; entry 0 was
+                    // the observer's. For the shared-observation abstraction
+                    // we overwrite nothing else.
+                    observed[0] = windows[0];
+                    observed
+                }
+                // A silent node this stage: fall back to the true profile
+                // rather than fabricating estimates.
+                Err(_) => windows.to_vec(),
+            }
+        };
+        Ok(StageOutcome { utilities, observed_windows })
+    }
+}
+
+
+/// Memoizing wrapper around any deterministic evaluator: repeated games,
+/// tournaments and best-response dynamics revisit the same profiles
+/// constantly, and the analytic outcome of a profile never changes.
+///
+/// Do **not** wrap [`SimulatedEvaluator`]: its outcomes are noisy samples
+/// and its engine state advances per call — caching would freeze one
+/// sample forever.
+#[derive(Debug)]
+pub struct CachingEvaluator<E> {
+    inner: E,
+    cache: std::collections::HashMap<Vec<u32>, StageOutcome>,
+    /// Cache hits served.
+    pub hits: u64,
+    /// Cache misses (inner evaluations performed).
+    pub misses: u64,
+}
+
+impl<E: StageEvaluator> CachingEvaluator<E> {
+    /// Wraps `inner`.
+    #[must_use]
+    pub fn new(inner: E) -> Self {
+        CachingEvaluator {
+            inner,
+            cache: std::collections::HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl<E: StageEvaluator> StageEvaluator for CachingEvaluator<E> {
+    fn evaluate(&mut self, windows: &[u32]) -> Result<StageOutcome, GameError> {
+        if let Some(cached) = self.cache.get(windows) {
+            self.hits += 1;
+            return Ok(cached.clone());
+        }
+        let outcome = self.inner.evaluate(windows)?;
+        self.misses += 1;
+        self.cache.insert(windows.to_vec(), outcome.clone());
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macgame_dcf::MicroSecs;
+
+    fn game(n: usize) -> GameConfig {
+        GameConfig::builder(n).build().unwrap()
+    }
+
+    #[test]
+    fn analytical_matches_symmetric_model() {
+        let g = game(5);
+        let mut eval = AnalyticalEvaluator::new(g.clone());
+        let out = eval.evaluate(&[76; 5]).unwrap();
+        assert_eq!(out.observed_windows, vec![76; 5]);
+        let expect = macgame_dcf::optimal::symmetric_utility(5, 76, g.params(), g.utility())
+            .unwrap()
+            * g.stage_duration().value();
+        for u in &out.utilities {
+            assert!((u - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn analytical_ranks_heterogeneous_profiles() {
+        let mut eval = AnalyticalEvaluator::new(game(3));
+        let out = eval.evaluate(&[16, 64, 256]).unwrap();
+        assert!(out.utilities[0] > out.utilities[1]);
+        assert!(out.utilities[1] > out.utilities[2]);
+    }
+
+    #[test]
+    fn simulated_tracks_analytical_within_noise() {
+        let g = GameConfig::builder(5)
+            .stage_duration(MicroSecs::from_seconds(30.0))
+            .build()
+            .unwrap();
+        let mut analytic = AnalyticalEvaluator::new(g.clone());
+        let mut sim = SimulatedEvaluator::new(g, 7).unwrap();
+        let windows = [76u32; 5];
+        let a = analytic.evaluate(&windows).unwrap();
+        let s = sim.evaluate(&windows).unwrap();
+        for i in 0..5 {
+            let rel = (a.utilities[i] - s.utilities[i]).abs() / a.utilities[i];
+            assert!(rel < 0.15, "player {i}: analytic {} vs sim {}", a.utilities[i], s.utilities[i]);
+        }
+    }
+
+    #[test]
+    fn simulated_estimates_windows_roughly() {
+        let g = GameConfig::builder(4)
+            .stage_duration(MicroSecs::from_seconds(50.0))
+            .build()
+            .unwrap();
+        let mut sim = SimulatedEvaluator::new(g, 3).unwrap();
+        let windows = [32u32, 64, 32, 128];
+        let out = sim.evaluate(&windows).unwrap();
+        for (i, (&est, &truth)) in out.observed_windows.iter().zip(&windows).enumerate() {
+            let rel = (f64::from(est) - f64::from(truth)).abs() / f64::from(truth);
+            assert!(rel < 0.35, "node {i}: estimated {est} for true {truth}");
+        }
+    }
+
+    #[test]
+    fn exact_observation_mode() {
+        let g = game(3);
+        let mut sim = SimulatedEvaluator::new(g, 3).unwrap().with_exact_observation(true);
+        let out = sim.evaluate(&[16, 64, 256]).unwrap();
+        assert_eq!(out.observed_windows, vec![16, 64, 256]);
+    }
+
+    #[test]
+    fn caching_evaluator_serves_repeats_from_cache() {
+        let g = game(3);
+        let mut cached = CachingEvaluator::new(AnalyticalEvaluator::new(g.clone()));
+        let a = cached.evaluate(&[76, 76, 76]).unwrap();
+        let b = cached.evaluate(&[76, 76, 76]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cached.hits, 1);
+        assert_eq!(cached.misses, 1);
+        let _ = cached.evaluate(&[10, 76, 76]).unwrap();
+        assert_eq!(cached.misses, 2);
+    }
+
+    #[test]
+    fn caching_evaluator_drives_a_repeated_game() {
+        use crate::repeated::RepeatedGame;
+        use crate::strategy::{Strategy, Tft};
+        let g = game(3);
+        let players: Vec<Box<dyn Strategy>> =
+            (0..3).map(|_| Box::new(Tft::new(60)) as Box<dyn Strategy>).collect();
+        let evaluator =
+            Box::new(CachingEvaluator::new(AnalyticalEvaluator::new(g.clone())));
+        let mut rg = RepeatedGame::new(g, players, evaluator).unwrap();
+        rg.play(6).unwrap();
+        // Six stages, one distinct profile: the cache did its job.
+        assert_eq!(rg.history().len(), 6);
+    }
+}

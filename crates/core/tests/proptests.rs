@@ -1,0 +1,228 @@
+//! Property-based tests of the game layer: the paper's ordering lemmas on
+//! random profiles, TFT dynamics, and deviation pricing.
+
+use macgame_core::deviation::shortsighted_deviation;
+use macgame_core::generalized::FiniteGame;
+use macgame_core::population::{replicator, PopulationState};
+use macgame_core::tournament::TournamentResult;
+use macgame_core::ratecontrol::{rate_game, rate_set_80211b, RateMbps};
+use macgame_core::evaluator::AnalyticalEvaluator;
+use macgame_core::history::{History, StageRecord};
+use macgame_core::lemmas::{lemma4_report, verify_lemma1};
+use macgame_core::strategy::{GenerousTft, Strategy, Tft};
+use macgame_core::{GameConfig, RepeatedGame};
+use proptest::prelude::*;
+
+fn game(n: usize) -> GameConfig {
+    GameConfig::builder(n).build().unwrap()
+}
+
+fn record(observed: Vec<u32>) -> StageRecord {
+    let n = observed.len();
+    StageRecord { windows: observed.clone(), observed, utilities: vec![0.0; n] }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lemma1_holds_on_random_profiles(
+        windows in prop::collection::vec(1u32..1024, 2..7),
+    ) {
+        let g = game(windows.len());
+        let verdict = verify_lemma1(&g, &windows).unwrap();
+        prop_assert!(verdict.is_ok(), "violation {:?}", verdict.unwrap_err());
+    }
+
+    #[test]
+    fn lemma4_ordering_on_random_deviations(
+        w_k in 4u32..512,
+        frac in 0.1f64..3.0,
+        n in 3usize..8,
+    ) {
+        let w_dev = ((f64::from(w_k) * frac) as u32).max(1);
+        let g = game(n);
+        let report = lemma4_report(&g, w_k, w_dev).unwrap();
+        prop_assert!(report.ordered(w_dev, w_k), "w_k={w_k} w_dev={w_dev}: {report:?}");
+    }
+
+    #[test]
+    fn tft_matches_min_of_any_observation(
+        observed in prop::collection::vec(1u32..4096, 2..8),
+    ) {
+        let g = game(observed.len());
+        let mut tft = Tft::new(64);
+        let mut h = History::new();
+        let min = *observed.iter().min().unwrap();
+        h.push(record(observed));
+        prop_assert_eq!(tft.next_window(0, &g, &h).unwrap(), min.clamp(1, g.w_max()));
+    }
+
+    #[test]
+    fn gtft_never_fires_on_uniform_play(
+        w in 1u32..4096,
+        r0 in 1usize..6,
+        beta in 0.5f64..1.0,
+        stages in 1usize..6,
+    ) {
+        let g = game(3);
+        let mut gtft = GenerousTft::new(w, r0, beta);
+        let mut h = History::new();
+        for _ in 0..stages {
+            h.push(record(vec![w.clamp(1, g.w_max()); 3]));
+        }
+        prop_assert_eq!(gtft.next_window(0, &g, &h).unwrap(), w.clamp(1, g.w_max()));
+    }
+
+    #[test]
+    fn tft_play_converges_to_min_initial(
+        initials in prop::collection::vec(2u32..512, 2..6),
+    ) {
+        let g = game(initials.len());
+        let players: Vec<Box<dyn Strategy>> =
+            initials.iter().map(|&w| Box::new(Tft::new(w)) as Box<dyn Strategy>).collect();
+        let evaluator = Box::new(AnalyticalEvaluator::new(g.clone()));
+        let mut rg = RepeatedGame::new(g, players, evaluator).unwrap();
+        rg.play(3).unwrap();
+        let expect = *initials.iter().min().unwrap();
+        prop_assert_eq!(rg.history().converged_window(), Some(expect));
+        prop_assert!(rg.history().convergence_stage().unwrap() <= 1);
+    }
+
+    #[test]
+    fn deviation_gain_monotone_in_reaction_lag(
+        n in 3usize..8,
+        delta in 0.1f64..0.95,
+    ) {
+        let g = game(n);
+        let ne = macgame_core::equilibrium::efficient_ne(&g).unwrap();
+        let w_s = (ne.window / 2).max(1);
+        let fast = shortsighted_deviation(&g, ne.window, w_s, 1, delta).unwrap();
+        let slow = shortsighted_deviation(&g, ne.window, w_s, 4, delta).unwrap();
+        prop_assert!(slow.deviant_payoff >= fast.deviant_payoff - 1e-9);
+    }
+
+    #[test]
+    fn discounted_history_bounded_by_undiscounted(
+        utilities in prop::collection::vec(0.0f64..100.0, 1..20),
+        delta in 0.0f64..0.999,
+    ) {
+        let mut h = History::new();
+        for &u in &utilities {
+            h.push(StageRecord { windows: vec![8], observed: vec![8], utilities: vec![u] });
+        }
+        let disc = h.discounted_utility(0, delta);
+        let plain: f64 = utilities.iter().sum();
+        prop_assert!(disc <= plain + 1e-9);
+        prop_assert!(disc >= utilities[0] - 1e-9);
+    }
+
+    #[test]
+    fn br_dynamics_fixed_points_are_nash(
+        payoffs in prop::collection::vec(0.0f64..10.0, 16),
+        start in prop::collection::vec(0usize..4, 2),
+    ) {
+        // Random 2-player 4-action game from a shared payoff table.
+        let table = payoffs.clone();
+        let g = FiniteGame::new(2, vec![0u8, 1, 2, 3], move |i, p| {
+            let (me, other) = (p[i], p[1 - i]);
+            table[me * 4 + other]
+        })
+        .unwrap();
+        let out = g.best_response_dynamics(&start, 50);
+        if out.converged {
+            prop_assert!(g.is_pure_nash(&out.profile));
+        }
+    }
+
+    #[test]
+    fn rate_game_fast_is_always_best_response(
+        n in 2usize..8,
+        w in 8u32..256,
+        profile_seed in 0usize..1000,
+    ) {
+        let params = macgame_dcf::DcfParams::builder()
+            .access_mode(macgame_dcf::AccessMode::RtsCts)
+            .build()
+            .unwrap();
+        let g = rate_game(
+            n,
+            w,
+            &params,
+            &macgame_dcf::UtilityParams::default(),
+            rate_set_80211b(),
+        )
+        .unwrap();
+        let profile: Vec<usize> = (0..n).map(|i| (profile_seed + i) % 4).collect();
+        for i in 0..n {
+            prop_assert_eq!(g.best_response(i, &profile), 3, "profile {:?}", profile);
+        }
+    }
+
+    #[test]
+    fn rate_utilities_increase_with_any_speedup(
+        n in 2usize..6,
+        w in 8u32..128,
+        who in 0usize..6,
+    ) {
+        let who = who % n;
+        let params = macgame_dcf::DcfParams::builder()
+            .access_mode(macgame_dcf::AccessMode::RtsCts)
+            .build()
+            .unwrap();
+        let g = rate_game(
+            n,
+            w,
+            &params,
+            &macgame_dcf::UtilityParams::default(),
+            vec![RateMbps(1.0), RateMbps(11.0)],
+        )
+        .unwrap();
+        // Upgrading any single node from slow to fast raises *everyone's*
+        // utility (pure positive externality).
+        let slow = vec![0usize; n];
+        let mut upgraded = slow.clone();
+        upgraded[who] = 1;
+        for i in 0..n {
+            prop_assert!(g.utility_of(i, &upgraded) > g.utility_of(i, &slow));
+        }
+    }
+
+    #[test]
+    fn replicator_preserves_the_simplex(
+        scores in prop::collection::vec(0.1f64..100.0, 9),
+        generations in 1usize..100,
+    ) {
+        let t = TournamentResult {
+            names: vec!["a".into(), "b".into(), "c".into()],
+            scores: scores.chunks(3).map(<[f64]>::to_vec).collect(),
+            stages: 1,
+        };
+        let trace = replicator(&t, &PopulationState::uniform(3), generations).unwrap();
+        for state in &trace.generations {
+            let total: f64 = state.shares.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(state.shares.iter().all(|&s| (0.0..=1.0 + 1e-12).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn replicator_eliminates_strictly_dominated_strategies(
+        base in prop::collection::vec(1.0f64..50.0, 4),
+        margin in 0.5f64..10.0,
+    ) {
+        // Row 1 = row 0 + margin entrywise: strategy 0 is strictly
+        // dominated and must shrink.
+        let t = TournamentResult {
+            names: vec!["dominated".into(), "dominant".into()],
+            scores: vec![
+                vec![base[0], base[1]],
+                vec![base[0] + margin, base[1] + margin],
+            ],
+            stages: 1,
+        };
+        let trace = replicator(&t, &PopulationState::uniform(2), 300).unwrap();
+        prop_assert!(trace.final_state().share(0) < 0.5);
+        prop_assert_eq!(trace.final_state().dominant(), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Medium-access delay analysis and delay-aware utilities.
+//!
+//! The paper's Discussion section concedes that its utility ignores delay,
+//! so "the CW value of NE may seem too long in some cases", and points to
+//! richer utilities as the fix. This module supplies that extension:
+//!
+//! * [`mean_access_slots`] / [`mean_access_delay`] — the expected number of
+//!   slots (and channel time) a saturated node needs to deliver its
+//!   head-of-line packet, derived from the same backoff chain: attempt `k`
+//!   succeeds with probability `(1−p)p^k`, and reaching it costs the mean
+//!   backoffs `(W_j − 1)/2 + 1` of stages `0…k`;
+//! * [`delay_aware_symmetric_utility`] — the paper's utility minus a
+//!   delay penalty `λ·D`, and [`efficient_cw_delay_aware`] — the efficient
+//!   NE under it, which shrinks toward more aggressive windows as the
+//!   application's delay sensitivity grows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DcfError;
+use crate::fixedpoint::solve_symmetric;
+use crate::params::DcfParams;
+use crate::throughput::slot_stats;
+use crate::units::MicroSecs;
+use crate::utility::{node_utility, UtilityParams};
+
+/// Truncation threshold: stage-tail mass below this is ignored.
+const TAIL_EPS: f64 = 1e-12;
+
+/// Expected number of *slots* between a packet reaching the head of line
+/// and its successful transmission, for a node with initial window `w`,
+/// per-attempt collision probability `p` and maximum backoff stage `m`.
+///
+/// # Examples
+///
+/// ```
+/// use macgame_dcf::delay::mean_access_slots;
+///
+/// // Collision-free: one stage of mean backoff plus the attempt slot.
+/// assert_eq!(mean_access_slots(31, 0.0, 5)?, 16.0);
+/// // Collisions push packets into deeper (longer) stages.
+/// assert!(mean_access_slots(31, 0.4, 5)? > 40.0);
+/// # Ok::<(), macgame_dcf::DcfError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`DcfError::InvalidParameter`] if `w == 0` or `p ∉ [0, 1)`.
+pub fn mean_access_slots(w: u32, p: f64, m: u32) -> Result<f64, DcfError> {
+    if w == 0 {
+        return Err(DcfError::invalid("w", "contention window must be at least 1"));
+    }
+    if !(0.0..1.0).contains(&p) {
+        return Err(DcfError::invalid("p", "collision probability must be in [0, 1)"));
+    }
+    // Mean slots spent in stage j (backoff countdown + the attempt slot).
+    let stage_cost = |j: u32| -> f64 {
+        let wj = f64::from(w) * f64::from(1u32 << j.min(m));
+        (wj - 1.0) / 2.0 + 1.0
+    };
+    // E[S] = Σ_k (1−p)·p^k · Σ_{j=0}^{k} cost(j)
+    //      = Σ_j cost(j) · P(reach stage j) = Σ_j cost(j)·p^j.
+    let mut total = 0.0;
+    let mut pj = 1.0;
+    let mut j = 0u32;
+    loop {
+        let term = stage_cost(j) * pj;
+        total += term;
+        pj *= p;
+        j += 1;
+        // Once the window is capped the tail is geometric; close it in
+        // closed form to avoid iterating forever for p near 1.
+        if j > m {
+            let capped = stage_cost(m);
+            total += capped * pj / (1.0 - p);
+            break;
+        }
+        if pj < TAIL_EPS {
+            break;
+        }
+    }
+    Ok(total)
+}
+
+/// Expected channel time to deliver the head-of-line packet:
+/// `E[slots] × mean slot length`.
+#[must_use]
+pub fn mean_access_delay(mean_slots: f64, mean_slot: MicroSecs) -> MicroSecs {
+    MicroSecs::new(mean_slots * mean_slot.value())
+}
+
+/// A symmetric operating point annotated with its delay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayPoint {
+    /// The common window.
+    pub window: u32,
+    /// Per-node utility rate (per µs), the paper's `u_i`.
+    pub utility: f64,
+    /// Mean head-of-line access delay.
+    pub delay: MicroSecs,
+    /// Delay-penalized utility `u_i − λ·D` (units: per µs minus λ·µs —
+    /// choose λ accordingly).
+    pub penalized: f64,
+}
+
+/// Evaluates the delay-aware utility `u(W) − λ·D(W)` at the symmetric
+/// point where all `n` nodes sit on `w`.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn delay_aware_symmetric_utility(
+    n: usize,
+    w: u32,
+    params: &DcfParams,
+    utility: &UtilityParams,
+    lambda: f64,
+) -> Result<DelayPoint, DcfError> {
+    let sym = solve_symmetric(n, w, params)?;
+    let taus = vec![sym.tau; n];
+    let ps = vec![sym.collision_prob; n];
+    let u = node_utility(0, &taus, &ps, params, utility);
+    let stats = slot_stats(&taus, params);
+    let slots = mean_access_slots(w, sym.collision_prob, params.max_backoff_stage())?;
+    let delay = mean_access_delay(slots, stats.mean_slot);
+    Ok(DelayPoint { window: w, utility: u, delay, penalized: u - lambda * delay.value() })
+}
+
+/// The efficient common window under the delay-penalized utility: the
+/// integer argmax of `u(W) − λ·D(W)` over `{1, …, w_max}` (exhaustive —
+/// the penalized objective need not be unimodal for extreme `λ`).
+///
+/// `λ = 0` recovers the paper's `W_c*`; growing `λ` pulls the optimum
+/// toward smaller, lower-latency windows.
+///
+/// # Errors
+///
+/// Returns [`DcfError::InvalidParameter`] for an empty strategy space;
+/// propagates solver failures.
+pub fn efficient_cw_delay_aware(
+    n: usize,
+    params: &DcfParams,
+    utility: &UtilityParams,
+    lambda: f64,
+    w_max: u32,
+) -> Result<DelayPoint, DcfError> {
+    if w_max == 0 {
+        return Err(DcfError::invalid("w_max", "strategy space must be non-empty"));
+    }
+    let mut best: Option<DelayPoint> = None;
+    for w in 1..=w_max {
+        let point = delay_aware_symmetric_utility(n, w, params, utility, lambda)?;
+        if best.map_or(true, |b| point.penalized > b.penalized) {
+            best = Some(point);
+        }
+    }
+    Ok(best.expect("nonempty strategy space"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::efficient_cw;
+
+    fn params() -> DcfParams {
+        DcfParams::default()
+    }
+
+    #[test]
+    fn no_collisions_delay_is_mean_backoff_plus_one() {
+        // p = 0: exactly one stage, (W−1)/2 + 1 slots.
+        let s = mean_access_slots(31, 0.0, 5).unwrap();
+        assert!((s - 16.0).abs() < 1e-12);
+        let s = mean_access_slots(1, 0.0, 5).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_grows_with_collisions() {
+        let lo = mean_access_slots(16, 0.1, 5).unwrap();
+        let hi = mean_access_slots(16, 0.6, 5).unwrap();
+        assert!(hi > 2.0 * lo, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn delay_grows_with_window_at_fixed_p() {
+        let a = mean_access_slots(16, 0.3, 5).unwrap();
+        let b = mean_access_slots(64, 0.3, 5).unwrap();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn heavy_collision_tail_is_finite() {
+        // p close to 1 must still produce a finite (capped-stage) value.
+        let s = mean_access_slots(4, 0.95, 3).unwrap();
+        assert!(s.is_finite() && s > 100.0);
+    }
+
+    #[test]
+    fn matches_direct_series_evaluation() {
+        // Cross-check the stage-summed closed form against brute force
+        // over attempt counts.
+        let (w, p, m) = (8u32, 0.4f64, 3u32);
+        let direct: f64 = (0..200)
+            .map(|k: u32| {
+                let prob = (1.0 - p) * p.powi(k as i32);
+                let cost: f64 = (0..=k)
+                    .map(|j| {
+                        let wj = f64::from(w) * f64::from(1u32 << j.min(m));
+                        (wj - 1.0) / 2.0 + 1.0
+                    })
+                    .sum();
+                prob * cost
+            })
+            .sum();
+        let ours = mean_access_slots(w, p, m).unwrap();
+        assert!((ours - direct).abs() / direct < 1e-9, "ours {ours} vs direct {direct}");
+    }
+
+    #[test]
+    fn zero_lambda_recovers_paper_optimum() {
+        let p = params();
+        let u = UtilityParams::default();
+        let classic = efficient_cw(5, &p, &u, 256).unwrap().window;
+        let delay_aware = efficient_cw_delay_aware(5, &p, &u, 0.0, 256).unwrap().window;
+        assert_eq!(classic, delay_aware);
+    }
+
+    #[test]
+    fn delay_sensitivity_shrinks_the_optimum() {
+        let p = params();
+        let u = UtilityParams::default();
+        let w0 = efficient_cw_delay_aware(5, &p, &u, 0.0, 256).unwrap().window;
+        // λ scaled to the utility's magnitude (~1e-5/µs) per µs of delay.
+        let w1 = efficient_cw_delay_aware(5, &p, &u, 1e-12, 256).unwrap().window;
+        let w2 = efficient_cw_delay_aware(5, &p, &u, 1e-10, 256).unwrap().window;
+        assert!(w1 <= w0);
+        assert!(w2 < w0, "λ-heavy optimum {w2} should undercut {w0}");
+    }
+
+    #[test]
+    fn delay_point_is_consistent() {
+        let p = params();
+        let u = UtilityParams::default();
+        let point = delay_aware_symmetric_utility(5, 76, &p, &u, 1e-11).unwrap();
+        assert!(point.utility > 0.0);
+        assert!(point.delay.value() > 0.0);
+        assert!((point.penalized - (point.utility - 1e-11 * point.delay.value())).abs() < 1e-18);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(mean_access_slots(0, 0.1, 5).is_err());
+        assert!(mean_access_slots(8, 1.0, 5).is_err());
+        let p = params();
+        assert!(efficient_cw_delay_aware(5, &p, &UtilityParams::default(), 0.0, 0).is_err());
+    }
+}

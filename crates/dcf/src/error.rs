@@ -1,0 +1,67 @@
+//! Error types for the analytical model.
+
+use core::fmt;
+
+/// Errors produced by the analytical DCF model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DcfError {
+    /// An iterative solver failed to reach the requested tolerance.
+    SolveDidNotConverge {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual (max update magnitude) at the last iteration.
+        residual: f64,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// The offending parameter.
+        name: &'static str,
+        /// Human-readable constraint description.
+        reason: String,
+    },
+}
+
+impl DcfError {
+    /// Convenience constructor for [`DcfError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        DcfError::InvalidParameter { name, reason: reason.into() }
+    }
+}
+
+impl fmt::Display for DcfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcfError::SolveDidNotConverge { iterations, residual } => write!(
+                f,
+                "fixed-point solver did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            DcfError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DcfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let e = DcfError::SolveDidNotConverge { iterations: 10, residual: 1e-3 };
+        let msg = e.to_string();
+        assert!(msg.contains("10 iterations"));
+        let e = DcfError::invalid("w", "must be at least 1");
+        assert_eq!(e.to_string(), "invalid parameter `w`: must be at least 1");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<DcfError>();
+    }
+}

@@ -1,0 +1,121 @@
+//! Fairness metrics over per-node allocations.
+//!
+//! The paper's Section IV credits TFT with ensuring "fairness among
+//! players", and the Section V.B refinement uses fairness as a criterion.
+//! This module quantifies it: Jain's fairness index and the min/max ratio
+//! over any per-node allocation (utility rates, throughputs, payoffs).
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` of a non-negative allocation:
+/// 1 for perfectly equal shares, `1/n` when one node takes everything.
+///
+/// # Examples
+///
+/// ```
+/// use macgame_dcf::fairness::jain_index;
+///
+/// assert_eq!(jain_index(&[5.0, 5.0, 5.0]), 1.0);
+/// assert!((jain_index(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `allocation` is empty or contains a negative or non-finite
+/// value.
+#[must_use]
+pub fn jain_index(allocation: &[f64]) -> f64 {
+    assert!(!allocation.is_empty(), "allocation must be non-empty");
+    assert!(
+        allocation.iter().all(|x| x.is_finite() && *x >= 0.0),
+        "allocation entries must be finite and non-negative"
+    );
+    let sum: f64 = allocation.iter().sum();
+    let sum_sq: f64 = allocation.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        // All-zero allocation: everyone equally (gets nothing).
+        return 1.0;
+    }
+    sum * sum / (allocation.len() as f64 * sum_sq)
+}
+
+/// Min/max ratio of an allocation: 1 for equal shares, → 0 as the most
+/// disadvantaged node is starved.
+///
+/// # Panics
+///
+/// Same conditions as [`jain_index`].
+#[must_use]
+pub fn min_max_ratio(allocation: &[f64]) -> f64 {
+    assert!(!allocation.is_empty(), "allocation must be non-empty");
+    assert!(
+        allocation.iter().all(|x| x.is_finite() && *x >= 0.0),
+        "allocation entries must be finite and non-negative"
+    );
+    let max = allocation.iter().copied().fold(f64::MIN, f64::max);
+    if max == 0.0 {
+        return 1.0;
+    }
+    let min = allocation.iter().copied().fold(f64::MAX, f64::min);
+    min / max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixedpoint::{solve, SolveOptions};
+    use crate::utility::{all_utilities, UtilityParams};
+    use crate::DcfParams;
+
+    #[test]
+    fn equal_allocation_is_perfectly_fair() {
+        assert_eq!(jain_index(&[3.0, 3.0, 3.0]), 1.0);
+        assert_eq!(min_max_ratio(&[3.0, 3.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn monopoly_is_maximally_unfair() {
+        let idx = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+        assert_eq!(min_max_ratio(&[1.0, 0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn jain_is_scale_invariant() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        assert!((jain_index(&a) - jain_index(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_allocation_counts_as_fair() {
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(min_max_ratio(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn symmetric_profile_is_fair_heterogeneous_is_not() {
+        // The claim the metric exists to check: equal windows ⇒ fairness 1,
+        // an undercutting node skews the allocation.
+        let p = DcfParams::default();
+        let u = UtilityParams::default();
+        let eq = solve(&[76; 5], &p, SolveOptions::default()).unwrap();
+        let us = all_utilities(&eq.taus, &eq.collision_probs, &p, &u);
+        assert!(jain_index(&us) > 0.999_999);
+
+        let eq = solve(&[19, 76, 76, 76, 76], &p, SolveOptions::default()).unwrap();
+        let us = all_utilities(&eq.taus, &eq.collision_probs, &p, &u);
+        assert!(jain_index(&us) < 0.9, "index {}", jain_index(&us));
+        assert!(min_max_ratio(&us) < 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_allocation_panics() {
+        let _ = jain_index(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_allocation_panics() {
+        let _ = jain_index(&[1.0, -0.1]);
+    }
+}

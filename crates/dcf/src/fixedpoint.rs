@@ -1,0 +1,347 @@
+//! Coupled fixed point for heterogeneous contention windows.
+//!
+//! Combining paper Eqs. (2) and (3) for all nodes gives `2n` equations in
+//! the unknowns `τ_1…τ_n, p_1…p_n`:
+//!
+//! ```text
+//! τ_i = τ(W_i, p_i)                  (per-node backoff chain)
+//! p_i = 1 − Π_{j≠i} (1 − τ_j)        (collision coupling)
+//! ```
+//!
+//! [`solve`] handles arbitrary window profiles by damped fixed-point
+//! iteration; [`solve_symmetric`] exploits the homogeneous case (all nodes
+//! on the same `W`), where the scalar map is monotone and bisection gives a
+//! guaranteed, fast solution — this is the path the equilibrium machinery
+//! hammers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DcfError;
+use crate::markov::transmission_probability;
+use crate::params::DcfParams;
+
+/// Options controlling the heterogeneous fixed-point iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolveOptions {
+    /// Maximum number of sweeps before giving up.
+    pub max_iterations: usize,
+    /// Convergence threshold on the max |Δτ_i| between sweeps.
+    pub tolerance: f64,
+    /// Damping factor in `(0, 1]`: `τ ← (1−d)·τ + d·τ_new`.
+    pub damping: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { max_iterations: 20_000, tolerance: 1e-12, damping: 0.5 }
+    }
+}
+
+/// Solution of the coupled system for a window profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Equilibrium {
+    /// Per-node transmission probabilities `τ_i`.
+    pub taus: Vec<f64>,
+    /// Per-node conditional collision probabilities `p_i`.
+    pub collision_probs: Vec<f64>,
+    /// Sweeps used by the iterative solver (0 for closed-form paths).
+    pub iterations: usize,
+}
+
+impl Equilibrium {
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.taus.len()
+    }
+
+    /// Whether the profile is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.taus.is_empty()
+    }
+
+    /// Max residual of Eqs. (2)–(3) at the solution — a direct certificate
+    /// of solution quality, independent of the solver path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcfError::InvalidParameter`] if `windows` disagrees in
+    /// length with the solution.
+    pub fn residual(&self, windows: &[u32], params: &DcfParams) -> Result<f64, DcfError> {
+        if windows.len() != self.taus.len() {
+            return Err(DcfError::invalid("windows", "length must match solution"));
+        }
+        let m = params.max_backoff_stage();
+        let mut worst = 0.0f64;
+        for (i, &w) in windows.iter().enumerate() {
+            let p_i: f64 = 1.0
+                - self
+                    .taus
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &t)| 1.0 - t)
+                    .product::<f64>();
+            let tau_i = transmission_probability(w, p_i, m)?;
+            worst = worst.max((p_i - self.collision_probs[i]).abs());
+            worst = worst.max((tau_i - self.taus[i]).abs());
+        }
+        Ok(worst)
+    }
+}
+
+fn validate_windows(windows: &[u32]) -> Result<(), DcfError> {
+    if windows.is_empty() {
+        return Err(DcfError::invalid("windows", "need at least one node"));
+    }
+    if windows.contains(&0) {
+        return Err(DcfError::invalid("windows", "contention windows must be at least 1"));
+    }
+    Ok(())
+}
+
+/// Solves the coupled `(τ, p)` system for an arbitrary window profile.
+///
+/// Uses damped fixed-point iteration starting from the collision-free guess
+/// `τ_i = 2/(W_i + 1)`. Homogeneous profiles are dispatched to
+/// [`solve_symmetric`].
+///
+/// # Errors
+///
+/// * [`DcfError::InvalidParameter`] for an empty profile or a zero window;
+/// * [`DcfError::SolveDidNotConverge`] if the sweep residual stays above
+///   `options.tolerance`.
+///
+/// # Examples
+///
+/// ```
+/// use macgame_dcf::fixedpoint::{solve, SolveOptions};
+/// use macgame_dcf::params::DcfParams;
+///
+/// let params = DcfParams::default();
+/// let eq = solve(&[32, 32, 64], &params, SolveOptions::default())?;
+/// // The aggressive nodes transmit more and see fewer collisions (Lemma 1).
+/// assert!(eq.taus[0] > eq.taus[2]);
+/// assert!(eq.collision_probs[0] < eq.collision_probs[2]);
+/// # Ok::<(), macgame_dcf::DcfError>(())
+/// ```
+pub fn solve(
+    windows: &[u32],
+    params: &DcfParams,
+    options: SolveOptions,
+) -> Result<Equilibrium, DcfError> {
+    validate_windows(windows)?;
+    if !(0.0..=1.0).contains(&options.damping) || options.damping == 0.0 {
+        return Err(DcfError::invalid("damping", "must be in (0, 1]"));
+    }
+    if windows.iter().all(|&w| w == windows[0]) {
+        let sym = solve_symmetric(windows.len(), windows[0], params)?;
+        return Ok(Equilibrium {
+            taus: vec![sym.tau; windows.len()],
+            collision_probs: vec![sym.collision_prob; windows.len()],
+            iterations: 0,
+        });
+    }
+    let m = params.max_backoff_stage();
+    let n = windows.len();
+    let mut taus: Vec<f64> =
+        windows.iter().map(|&w| 2.0 / (f64::from(w) + 1.0)).collect();
+    let mut residual = f64::INFINITY;
+    for iter in 0..options.max_iterations {
+        residual = 0.0;
+        // log(1−τ) accumulation keeps the n-way product O(n) per sweep.
+        let total_log: f64 = taus.iter().map(|&t| (1.0 - t).max(f64::MIN_POSITIVE).ln()).sum();
+        let mut next = Vec::with_capacity(n);
+        for (&w, &tau) in windows.iter().zip(&taus) {
+            let others = (total_log - (1.0 - tau).max(f64::MIN_POSITIVE).ln()).exp();
+            let p_i = (1.0 - others).clamp(0.0, 1.0);
+            let tau_new = transmission_probability(w, p_i, m)?;
+            let damped = (1.0 - options.damping) * tau + options.damping * tau_new;
+            residual = residual.max((damped - tau).abs());
+            next.push(damped);
+        }
+        taus = next;
+        if residual < options.tolerance {
+            let total_log: f64 =
+                taus.iter().map(|&t| (1.0 - t).max(f64::MIN_POSITIVE).ln()).sum();
+            let collision_probs = taus
+                .iter()
+                .map(|&t| {
+                    let others = (total_log - (1.0 - t).max(f64::MIN_POSITIVE).ln()).exp();
+                    (1.0 - others).clamp(0.0, 1.0)
+                })
+                .collect();
+            return Ok(Equilibrium { taus, collision_probs, iterations: iter + 1 });
+        }
+    }
+    Err(DcfError::SolveDidNotConverge { iterations: options.max_iterations, residual })
+}
+
+/// Symmetric operating point: every node on window `w`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SymmetricPoint {
+    /// Number of nodes.
+    pub n: usize,
+    /// Common contention window.
+    pub window: u32,
+    /// Common transmission probability `τ_c`.
+    pub tau: f64,
+    /// Common collision probability `p_c = 1 − (1−τ_c)^{n−1}`.
+    pub collision_prob: f64,
+}
+
+/// Solves the homogeneous fixed point (all `n` nodes on window `w`) by
+/// bisection on `f(τ) = τ − τ(W, 1 − (1−τ)^{n−1})`, which is strictly
+/// increasing, so the root is unique — the uniqueness result Bianchi proved
+/// for the homogeneous case.
+///
+/// # Examples
+///
+/// ```
+/// use macgame_dcf::fixedpoint::solve_symmetric;
+/// use macgame_dcf::DcfParams;
+///
+/// // Five nodes at the paper's Table II operating point.
+/// let sym = solve_symmetric(5, 76, &DcfParams::default())?;
+/// assert!((sym.tau - 0.0226).abs() < 1e-3);
+/// assert!((sym.collision_prob - 0.088).abs() < 5e-3);
+/// # Ok::<(), macgame_dcf::DcfError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`DcfError::InvalidParameter`] if `n == 0` or `w == 0`.
+pub fn solve_symmetric(n: usize, w: u32, params: &DcfParams) -> Result<SymmetricPoint, DcfError> {
+    if n == 0 {
+        return Err(DcfError::invalid("n", "need at least one node"));
+    }
+    validate_windows(&[w])?;
+    let m = params.max_backoff_stage();
+    if n == 1 {
+        let tau = transmission_probability(w, 0.0, m)?;
+        return Ok(SymmetricPoint { n, window: w, tau, collision_prob: 0.0 });
+    }
+    let f = |tau: f64| -> Result<f64, DcfError> {
+        let p = 1.0 - (1.0 - tau).powi(n as i32 - 1);
+        Ok(tau - transmission_probability(w, p.clamp(0.0, 1.0), m)?)
+    };
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    // f(0) = −τ(W, 0) < 0 and f(1) = 1 − τ(W, 1) > 0: the root is bracketed.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid)? <= 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let tau = 0.5 * (lo + hi);
+    let collision_prob = (1.0 - (1.0 - tau).powi(n as i32 - 1)).clamp(0.0, 1.0);
+    Ok(SymmetricPoint { n, window: w, tau, collision_prob })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DcfParams {
+        DcfParams::default()
+    }
+
+    #[test]
+    fn symmetric_satisfies_equations() {
+        let p = params();
+        for &(n, w) in &[(2usize, 16u32), (5, 32), (10, 64), (50, 879), (5, 1)] {
+            let sym = solve_symmetric(n, w, &p).unwrap();
+            let expect_p = 1.0 - (1.0 - sym.tau).powi(n as i32 - 1);
+            assert!((sym.collision_prob - expect_p).abs() < 1e-12);
+            let expect_tau =
+                transmission_probability(w, sym.collision_prob, p.max_backoff_stage()).unwrap();
+            assert!(
+                (sym.tau - expect_tau).abs() < 1e-10,
+                "n={n} w={w}: τ={} expected {}",
+                sym.tau,
+                expect_tau
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_never_collides() {
+        let sym = solve_symmetric(1, 31, &params()).unwrap();
+        assert_eq!(sym.collision_prob, 0.0);
+        assert!((sym.tau - 2.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_matches_symmetric_on_equal_profile() {
+        let p = params();
+        let eq = solve(&[32; 7], &p, SolveOptions::default()).unwrap();
+        let sym = solve_symmetric(7, 32, &p).unwrap();
+        for i in 0..7 {
+            assert!((eq.taus[i] - sym.tau).abs() < 1e-10);
+            assert!((eq.collision_probs[i] - sym.collision_prob).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_residual_is_tiny() {
+        let p = params();
+        let windows = [8u32, 16, 32, 64, 128, 256];
+        let eq = solve(&windows, &p, SolveOptions::default()).unwrap();
+        assert!(eq.residual(&windows, &p).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn lemma1_ordering_holds() {
+        // W_i > W_j ⇒ p_i > p_j and τ_i < τ_j (paper Lemma 1).
+        let p = params();
+        let windows = [16u32, 64, 256];
+        let eq = solve(&windows, &p, SolveOptions::default()).unwrap();
+        assert!(eq.taus[0] > eq.taus[1] && eq.taus[1] > eq.taus[2]);
+        assert!(
+            eq.collision_probs[0] < eq.collision_probs[1]
+                && eq.collision_probs[1] < eq.collision_probs[2]
+        );
+    }
+
+    #[test]
+    fn tau_decreases_as_population_grows() {
+        let p = params();
+        let mut prev = f64::INFINITY;
+        for n in 2..30 {
+            let sym = solve_symmetric(n, 32, &p).unwrap();
+            assert!(sym.tau < prev);
+            prev = sym.tau;
+        }
+    }
+
+    #[test]
+    fn aggressive_windows_converge_too() {
+        // W = 1 for everyone: extremely congested but still solvable.
+        let p = params();
+        let eq = solve(&[1, 1, 1, 1], &p, SolveOptions::default()).unwrap();
+        assert!(eq.residual(&[1, 1, 1, 1], &p).unwrap() < 1e-9);
+        // Exponential backoff tempers even W = 1: p settles near 0.63.
+        assert!(eq.collision_probs[0] > 0.5, "p = {}", eq.collision_probs[0]);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let p = params();
+        assert!(solve(&[], &p, SolveOptions::default()).is_err());
+        assert!(solve(&[0, 4], &p, SolveOptions::default()).is_err());
+        assert!(solve_symmetric(0, 4, &p).is_err());
+        let bad = SolveOptions { damping: 0.0, ..SolveOptions::default() };
+        assert!(solve(&[2, 4], &p, bad).is_err());
+    }
+
+    #[test]
+    fn mixed_extreme_profile_converges() {
+        let p = params();
+        let windows = [1u32, 1024, 1, 1024, 512];
+        let eq = solve(&windows, &p, SolveOptions::default()).unwrap();
+        assert!(eq.residual(&windows, &p).unwrap() < 1e-8);
+    }
+}

@@ -1,0 +1,66 @@
+//! Analytical model of IEEE 802.11 DCF with *selfish* (heterogeneous
+//! contention-window) nodes.
+//!
+//! This crate is the analytical substrate of the `macgame` workspace, a
+//! reproduction of *"Selfishness, Not Always A Nightmare: Modeling Selfish
+//! MAC Behaviors in Wireless Mobile Ad Hoc Networks"* (Chen & Leneutre,
+//! ICDCS 2007). It extends Bianchi's saturation model to nodes that each
+//! pick their own initial contention window `W_i`:
+//!
+//! * [`markov`] — the per-node backoff Markov chain and its closed-form
+//!   stationary distribution (`τ_i` as a function of `W_i` and the
+//!   conditional collision probability `p_i`, paper Eq. (2)), plus an
+//!   explicit-matrix solver used for cross-validation;
+//! * [`fixedpoint`] — the coupled `2n`-equation system linking all nodes
+//!   (paper Eq. (3)), with a guaranteed bisection path for symmetric
+//!   profiles and a damped iteration for arbitrary ones;
+//! * [`throughput`] — slot statistics and normalized saturation throughput;
+//! * [`utility`] — the selfish utility `u_i = τ_i((1−p_i)g − e)/T_slot`,
+//!   stage/discounted sums and the Figure-2/3 `U/C` normalization;
+//! * [`delay`] — head-of-line access-delay analysis and the delay-aware
+//!   utility extension the paper's Discussion calls for;
+//! * [`fairness`] — Jain index / min-max ratio, quantifying the fairness
+//!   the TFT dynamics are credited with;
+//! * [`optimal`] — the symmetric optimum: the `Q(τ)` characterization of
+//!   `τ_c*` (Lemma 3), the efficient window `W_c*`, the break-even window
+//!   `W_c⁰` and the Nash-equilibrium interval of Theorem 2;
+//! * [`params`] / [`units`] / [`presets`] — IEEE 802.11 timing with the
+//!   paper's Table I defaults (plus 802.11b and 802.11a/g presets), in
+//!   unit-safe newtypes.
+//!
+//! # Quick start
+//!
+//! ```
+//! use macgame_dcf::{DcfParams, UtilityParams};
+//! use macgame_dcf::optimal::efficient_cw;
+//!
+//! // Five saturated selfish nodes, basic access, Table I parameters.
+//! let params = DcfParams::default();
+//! let ne = efficient_cw(5, &params, &UtilityParams::default(), 1024)?;
+//! // The efficient NE of the paper's Table II is W_c* = 76; the exact
+//! // integer depends on the (unpublished) maximum backoff stage m.
+//! assert!((70..=85).contains(&ne.window));
+//! # Ok::<(), macgame_dcf::DcfError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod delay;
+pub mod error;
+pub mod fairness;
+pub mod fixedpoint;
+pub mod markov;
+pub mod optimal;
+pub mod params;
+pub mod presets;
+pub mod throughput;
+pub mod units;
+pub mod utility;
+
+pub use error::DcfError;
+pub use fixedpoint::{solve, solve_symmetric, Equilibrium, SolveOptions, SymmetricPoint};
+pub use optimal::{efficient_cw, ne_interval, optimal_tau, EfficientNe, NeInterval};
+pub use params::{AccessMode, DcfParams, DcfParamsBuilder, FrameParams, FrameTimings, PhyParams};
+pub use units::{BitRate, Bits, MicroSecs};
+pub use utility::UtilityParams;

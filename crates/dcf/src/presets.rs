@@ -1,0 +1,95 @@
+//! Ready-made IEEE 802.11 parameter presets.
+//!
+//! The paper's Table I is a 1 Mbit/s DSSS-era configuration; these presets
+//! let the same model answer questions about other PHYs. Derived constants
+//! (σ, SIFS, DIFS, header sizes) follow the respective standards'
+//! MAC-layer timing; payloads default to the paper's 8184 bits so results
+//! stay comparable.
+
+use crate::params::{DcfParams, FrameParams, PhyParams};
+use crate::units::{BitRate, Bits, MicroSecs};
+
+/// The paper's Table I configuration (identical to [`DcfParams::default`]):
+/// 1 Mbit/s, σ = 50 µs, SIFS = 28 µs, DIFS = 128 µs.
+#[must_use]
+pub fn paper_table1() -> DcfParams {
+    DcfParams::default()
+}
+
+/// IEEE 802.11b (DSSS, long preamble): 11 Mbit/s payload rate,
+/// σ = 20 µs, SIFS = 10 µs, DIFS = 50 µs, 192 µs PHY preamble+header
+/// (represented as its 1 Mbit/s-equivalent bit count at the payload rate).
+#[must_use]
+pub fn ieee80211b() -> DcfParams {
+    // At 11 Mbit/s, the 192 µs long preamble+PLCP corresponds to 2112 bits.
+    DcfParams::builder()
+        .phy(PhyParams {
+            slot: MicroSecs::new(20.0),
+            sifs: MicroSecs::new(10.0),
+            difs: MicroSecs::new(50.0),
+            phy_header: Bits::new(2112),
+            bit_rate: BitRate::from_mbps(11.0),
+        })
+        .frames(FrameParams::default())
+        .build()
+        .expect("preset parameters are valid")
+}
+
+/// IEEE 802.11a/g (OFDM): 54 Mbit/s, σ = 9 µs, SIFS = 16 µs, DIFS = 34 µs,
+/// 20 µs OFDM preamble+header (≈ 1080 bits at 54 Mbit/s).
+#[must_use]
+pub fn ieee80211ag() -> DcfParams {
+    DcfParams::builder()
+        .phy(PhyParams {
+            slot: MicroSecs::new(9.0),
+            sifs: MicroSecs::new(16.0),
+            difs: MicroSecs::new(34.0),
+            phy_header: Bits::new(1080),
+            bit_rate: BitRate::from_mbps(54.0),
+        })
+        .frames(FrameParams::default())
+        .build()
+        .expect("preset parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::efficient_cw;
+    use crate::utility::UtilityParams;
+
+    #[test]
+    fn presets_have_standard_timing() {
+        assert_eq!(paper_table1().sigma().value(), 50.0);
+        let b = ieee80211b();
+        assert_eq!(b.sigma().value(), 20.0);
+        assert_eq!(b.phy().sifs.value(), 10.0);
+        // 192 µs preamble at 11 Mbit/s.
+        assert!((b.phy().phy_header.tx_time(b.phy().bit_rate).value() - 192.0).abs() < 1e-9);
+        let ag = ieee80211ag();
+        assert_eq!(ag.sigma().value(), 9.0);
+        assert!((ag.phy().phy_header.tx_time(ag.phy().bit_rate).value() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_phys_shrink_frame_times() {
+        let t1 = paper_table1().timings().success_time.value();
+        let t11 = ieee80211b().timings().success_time.value();
+        let t54 = ieee80211ag().timings().success_time.value();
+        assert!(t11 < t1 / 4.0, "11b Ts {t11} vs paper {t1}");
+        assert!(t54 < t11 / 2.0, "a/g Ts {t54} vs 11b {t11}");
+    }
+
+    #[test]
+    fn efficient_ne_scales_across_phys() {
+        // Faster PHYs shrink the collision cost Tc relative to σ, so the
+        // efficient window is smaller — the same game, different constants.
+        let u = UtilityParams::default();
+        let w_paper = efficient_cw(5, &paper_table1(), &u, 2048).unwrap().window;
+        let w_b = efficient_cw(5, &ieee80211b(), &u, 2048).unwrap().window;
+        let w_ag = efficient_cw(5, &ieee80211ag(), &u, 2048).unwrap().window;
+        assert!(w_b < w_paper, "11b W* {w_b} vs paper {w_paper}");
+        assert!(w_ag < w_b, "a/g W* {w_ag} vs 11b {w_b}");
+        assert!(w_ag >= 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! Per-node utility and welfare (paper Section IV).
+//!
+//! Node `i`'s utility is its expected net gain per unit of channel time,
+//!
+//! ```text
+//! u_i = τ_i·((1 − p_i)·g − e) / T_slot
+//! ```
+//!
+//! where `g` is the gain of a successful packet, `e` the energy cost of an
+//! attempt, and `T_slot` the mean slot length. Stage and discounted-total
+//! utilities scale `u_i` by the stage duration `T` and the discount factor
+//! `δ` of the repeated game.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::DcfParams;
+use crate::throughput::slot_stats;
+use crate::units::MicroSecs;
+
+/// Gain/cost parameters of the utility function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityParams {
+    /// Gain `g` for a successfully delivered packet.
+    pub gain: f64,
+    /// Cost `e` of transmitting a packet (energy), paid per attempt.
+    pub cost: f64,
+}
+
+impl Default for UtilityParams {
+    /// Table I values: `g = 1`, `e = 0.01`.
+    fn default() -> Self {
+        UtilityParams { gain: 1.0, cost: 0.01 }
+    }
+}
+
+/// Utility of node `i` per microsecond of channel time, given the full
+/// transmission/collision probability profile.
+///
+/// # Panics
+///
+/// Panics if `node` is out of range, the profiles disagree in length, or
+/// any probability is outside `[0, 1]`.
+#[must_use]
+pub fn node_utility(
+    node: usize,
+    taus: &[f64],
+    collision_probs: &[f64],
+    params: &DcfParams,
+    utility: &UtilityParams,
+) -> f64 {
+    assert_eq!(taus.len(), collision_probs.len(), "profile lengths must match");
+    assert!(node < taus.len(), "node index out of range");
+    let stats = slot_stats(taus, params);
+    let tau = taus[node];
+    let p = collision_probs[node];
+    assert!((0.0..=1.0).contains(&p), "collision probability must be in [0, 1]");
+    tau * ((1.0 - p) * utility.gain - utility.cost) / stats.mean_slot.value()
+}
+
+/// Utilities of every node, as [`node_utility`] per index.
+///
+/// # Panics
+///
+/// Same conditions as [`node_utility`].
+#[must_use]
+pub fn all_utilities(
+    taus: &[f64],
+    collision_probs: &[f64],
+    params: &DcfParams,
+    utility: &UtilityParams,
+) -> Vec<f64> {
+    (0..taus.len()).map(|i| node_utility(i, taus, collision_probs, params, utility)).collect()
+}
+
+/// Social welfare: the sum of all node utilities (per microsecond).
+///
+/// # Panics
+///
+/// Same conditions as [`node_utility`].
+#[must_use]
+pub fn social_welfare(
+    taus: &[f64],
+    collision_probs: &[f64],
+    params: &DcfParams,
+    utility: &UtilityParams,
+) -> f64 {
+    all_utilities(taus, collision_probs, params, utility).iter().sum()
+}
+
+/// Stage utility `U_i^s = u_i · T` for a stage of duration `T`.
+#[must_use]
+pub fn stage_utility(per_microsec: f64, stage_duration: MicroSecs) -> f64 {
+    per_microsec * stage_duration.value()
+}
+
+/// Total discounted utility `Σ_{k≥0} δ^k·U^s = U^s / (1 − δ)` of repeating
+/// the same stage utility forever.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ δ < 1`.
+#[must_use]
+pub fn discounted_total(stage_utility: f64, delta: f64) -> f64 {
+    assert!((0.0..1.0).contains(&delta), "discount factor must be in [0, 1)");
+    stage_utility / (1.0 - delta)
+}
+
+/// Finite discounted sum `Σ_{k=0}^{stages−1} δ^k·U^s`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ δ ≤ 1`.
+#[must_use]
+pub fn discounted_partial(stage_utility: f64, delta: f64, stages: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&delta), "discount factor must be in [0, 1]");
+    if (delta - 1.0).abs() < f64::EPSILON {
+        return stage_utility * f64::from(stages);
+    }
+    stage_utility * (1.0 - delta.powi(stages as i32)) / (1.0 - delta)
+}
+
+/// The paper's Figure 2/3 normalization: global payoff divided by
+/// `C = g·T / (σ·(1−δ))`. Algebraically `U/C = σ·Σ_i u_i / g`, independent
+/// of `T` and `δ` — exactly why the paper plots it.
+///
+/// # Panics
+///
+/// Same conditions as [`node_utility`].
+#[must_use]
+pub fn normalized_global_payoff(
+    taus: &[f64],
+    collision_probs: &[f64],
+    params: &DcfParams,
+    utility: &UtilityParams,
+) -> f64 {
+    social_welfare(taus, collision_probs, params, utility) * params.sigma().value() / utility.gain
+}
+
+
+/// Utility of node `i` with **per-node** gain/cost parameters — the
+/// general form the paper simplifies away ("we assume that `g_i` and
+/// `e_i` are the same for all `i`"). Useful for energy-heterogeneous
+/// networks where battery-poor nodes price attempts higher.
+///
+/// # Panics
+///
+/// Same conditions as [`node_utility`], plus `utilities` must have one
+/// entry per node.
+#[must_use]
+pub fn node_utility_hetero(
+    node: usize,
+    taus: &[f64],
+    collision_probs: &[f64],
+    params: &DcfParams,
+    utilities: &[UtilityParams],
+) -> f64 {
+    assert_eq!(taus.len(), utilities.len(), "need one UtilityParams per node");
+    node_utility(node, taus, collision_probs, params, &utilities[node])
+}
+
+/// Per-node utilities under per-node gain/cost parameters.
+///
+/// # Panics
+///
+/// Same conditions as [`node_utility_hetero`].
+#[must_use]
+pub fn all_utilities_hetero(
+    taus: &[f64],
+    collision_probs: &[f64],
+    params: &DcfParams,
+    utilities: &[UtilityParams],
+) -> Vec<f64> {
+    (0..taus.len())
+        .map(|i| node_utility_hetero(i, taus, collision_probs, params, utilities))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixedpoint::{solve, solve_symmetric, SolveOptions};
+
+    fn params() -> DcfParams {
+        DcfParams::default()
+    }
+
+    fn sym_profile(n: usize, w: u32) -> (Vec<f64>, Vec<f64>) {
+        let sym = solve_symmetric(n, w, &params()).unwrap();
+        (vec![sym.tau; n], vec![sym.collision_prob; n])
+    }
+
+    #[test]
+    fn utility_positive_at_sane_window() {
+        let (taus, ps) = sym_profile(5, 76);
+        let u = node_utility(0, &taus, &ps, &params(), &UtilityParams::default());
+        assert!(u > 0.0);
+    }
+
+    #[test]
+    fn utility_negative_when_collisions_dominate() {
+        // (1−p)·g < e ⟹ negative utility. Force it with p close to 1.
+        let taus = [0.99, 0.99, 0.99];
+        let p = 1.0 - (1.0 - 0.99f64).powi(2);
+        let ps = [p; 3];
+        let u = node_utility(0, &taus, &ps, &params(), &UtilityParams::default());
+        assert!(u < 0.0, "u = {u}");
+    }
+
+    #[test]
+    fn symmetric_nodes_share_equal_utility() {
+        let (taus, ps) = sym_profile(8, 128);
+        let us = all_utilities(&taus, &ps, &params(), &UtilityParams::default());
+        for u in &us {
+            assert!((u - us[0]).abs() < 1e-15);
+        }
+        let welfare = social_welfare(&taus, &ps, &params(), &UtilityParams::default());
+        assert!((welfare - 8.0 * us[0]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lemma1_utility_ordering() {
+        // W_i > W_j ⇒ U_i < U_j (paper Lemma 1).
+        let p = params();
+        let windows = [32u32, 64, 256];
+        let eq = solve(&windows, &p, SolveOptions::default()).unwrap();
+        let us = all_utilities(&eq.taus, &eq.collision_probs, &p, &UtilityParams::default());
+        assert!(us[0] > us[1] && us[1] > us[2], "utilities {us:?}");
+    }
+
+    #[test]
+    fn stage_and_discounted_sums() {
+        let u = 3.0e-5; // per µs
+        let t = MicroSecs::from_seconds(10.0);
+        let stage = stage_utility(u, t);
+        assert!((stage - 300.0).abs() < 1e-9);
+        let total = discounted_total(stage, 0.9999);
+        assert!((total - stage / 0.0001).abs() < 1e-3);
+        // Partial sums converge to the total.
+        let partial = discounted_partial(stage, 0.9999, 2_000_000);
+        assert!((partial - total).abs() / total < 1e-6);
+        // δ = 1 degenerates to a plain sum.
+        assert_eq!(discounted_partial(2.0, 1.0, 10), 20.0);
+    }
+
+    #[test]
+    fn normalization_independent_of_gain_scale() {
+        // U/C divides g back out of a g≫e utility: doubling g (with e scaled
+        // too) leaves the normalized payoff unchanged.
+        let (taus, ps) = sym_profile(5, 100);
+        let base = UtilityParams::default();
+        let scaled = UtilityParams { gain: 2.0, cost: 0.02 };
+        let a = normalized_global_payoff(&taus, &ps, &params(), &base);
+        let b = normalized_global_payoff(&taus, &ps, &params(), &scaled);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cost_utility_is_throughput_shaped() {
+        // With e = 0, u_i ∝ per-node success rate per unit time.
+        let (taus, ps) = sym_profile(5, 76);
+        let free = UtilityParams { gain: 1.0, cost: 0.0 };
+        let u = node_utility(0, &taus, &ps, &params(), &free);
+        let stats = slot_stats(&taus, &params());
+        let success_rate_per_us =
+            taus[0] * (1.0 - ps[0]) / stats.mean_slot.value();
+        assert!((u - success_rate_per_us).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "discount factor")]
+    fn discount_of_one_rejected_for_infinite_sum() {
+        let _ = discounted_total(1.0, 1.0);
+    }
+
+    #[test]
+    fn hetero_matches_homogeneous_when_equal() {
+        let (taus, ps) = sym_profile(4, 64);
+        let per_node = vec![UtilityParams::default(); 4];
+        let hetero = all_utilities_hetero(&taus, &ps, &params(), &per_node);
+        let homo = all_utilities(&taus, &ps, &params(), &UtilityParams::default());
+        assert_eq!(hetero, homo);
+    }
+
+    #[test]
+    fn hetero_prices_energy_poor_nodes() {
+        // A battery-poor node (10× cost) can be in the red while its peers
+        // profit, at the very same operating point.
+        let (taus, ps) = sym_profile(5, 4);
+        let mut per_node = vec![UtilityParams::default(); 5];
+        per_node[0] = UtilityParams { gain: 1.0, cost: 0.5 };
+        let us = all_utilities_hetero(&taus, &ps, &params(), &per_node);
+        assert!(us[0] < us[1], "poor node should earn less: {us:?}");
+        assert!(us[1] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one UtilityParams per node")]
+    fn hetero_length_checked() {
+        let (taus, ps) = sym_profile(3, 16);
+        let _ = all_utilities_hetero(&taus, &ps, &params(), &[UtilityParams::default()]);
+    }
+}

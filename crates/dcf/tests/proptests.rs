@@ -1,0 +1,190 @@
+//! Property-based tests of the analytical model's invariants.
+
+use macgame_dcf::delay::mean_access_slots;
+use macgame_dcf::fairness::{jain_index, min_max_ratio};
+use macgame_dcf::fixedpoint::{solve, solve_symmetric, SolveOptions};
+use macgame_dcf::markov::{transmission_probability, BackoffChain};
+use macgame_dcf::optimal::{ne_interval, q_function};
+use macgame_dcf::throughput::{node_throughput, normalized_throughput, slot_stats};
+use macgame_dcf::{AccessMode, DcfParams, UtilityParams};
+use proptest::prelude::*;
+
+fn params(mode: AccessMode) -> DcfParams {
+    DcfParams::builder().access_mode(mode).build().unwrap()
+}
+
+fn any_mode() -> impl Strategy<Value = AccessMode> {
+    prop_oneof![Just(AccessMode::Basic), Just(AccessMode::RtsCts)]
+}
+
+proptest! {
+    #[test]
+    fn tau_is_a_probability(w in 1u32..5000, p in 0.0f64..=1.0, m in 0u32..8) {
+        let tau = transmission_probability(w, p, m).unwrap();
+        prop_assert!(tau > 0.0 && tau <= 1.0, "τ = {tau}");
+    }
+
+    #[test]
+    fn tau_strictly_decreases_in_w(w in 1u32..4000, p in 0.0f64..0.99, m in 0u32..8) {
+        let a = transmission_probability(w, p, m).unwrap();
+        let b = transmission_probability(w + 1, p, m).unwrap();
+        prop_assert!(b < a);
+    }
+
+    #[test]
+    fn tau_non_increasing_in_p(w in 1u32..4000, p in 0.0f64..0.95, m in 1u32..8) {
+        let a = transmission_probability(w, p, m).unwrap();
+        let b = transmission_probability(w, p + 0.05, m).unwrap();
+        prop_assert!(b <= a + 1e-15);
+    }
+
+    #[test]
+    fn stationary_distribution_normalized(w in 1u32..64, p in 0.0f64..0.95, m in 0u32..6) {
+        let chain = BackoffChain::new(w, p, m).unwrap();
+        let mut total = 0.0;
+        for j in 0..=m {
+            total += chain.stage_mass(j);
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+        // τ equals the mass of the transmit column.
+        let col: f64 = (0..=m).map(|j| chain.stationary(j, 0)).sum();
+        prop_assert!((col - chain.tau()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_fixed_point_satisfies_equations(
+        n in 1usize..40,
+        w in 1u32..2000,
+        mode in any_mode(),
+    ) {
+        let p = params(mode);
+        let sym = solve_symmetric(n, w, &p).unwrap();
+        let expect_p = 1.0 - (1.0 - sym.tau).powi(n as i32 - 1);
+        prop_assert!((sym.collision_prob - expect_p).abs() < 1e-10);
+        let expect_tau =
+            transmission_probability(w, sym.collision_prob, p.max_backoff_stage()).unwrap();
+        prop_assert!((sym.tau - expect_tau).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_fixed_point_residual_small(
+        windows in prop::collection::vec(1u32..1024, 2..8),
+        mode in any_mode(),
+    ) {
+        let p = params(mode);
+        let eq = solve(&windows, &p, SolveOptions::default()).unwrap();
+        prop_assert!(eq.residual(&windows, &p).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn lemma1_p_and_tau_orderings(
+        windows in prop::collection::vec(1u32..1024, 2..8),
+        mode in any_mode(),
+    ) {
+        let p = params(mode);
+        let eq = solve(&windows, &p, SolveOptions::default()).unwrap();
+        for i in 0..windows.len() {
+            for j in 0..windows.len() {
+                if windows[i] > windows[j] {
+                    prop_assert!(eq.taus[i] < eq.taus[j] + 1e-9,
+                        "W {} > {} but τ {} ≥ {}", windows[i], windows[j], eq.taus[i], eq.taus[j]);
+                    prop_assert!(eq.collision_probs[i] > eq.collision_probs[j] - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_probabilities_partition(
+        taus in prop::collection::vec(0.0f64..1.0, 1..10),
+        mode in any_mode(),
+    ) {
+        let p = params(mode);
+        let stats = slot_stats(&taus, &p);
+        let total = stats.idle_rate() + stats.success_rate() + stats.collision_rate();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(stats.mean_slot.value() >= p.sigma().value() - 1e-9
+            || stats.p_transmit > 0.0);
+    }
+
+    #[test]
+    fn throughput_bounded_and_consistent(
+        taus in prop::collection::vec(0.001f64..0.5, 2..8),
+        mode in any_mode(),
+    ) {
+        let p = params(mode);
+        let s = normalized_throughput(&taus, &p);
+        prop_assert!((0.0..=1.0).contains(&s), "S = {s}");
+        let by_node: f64 = (0..taus.len()).map(|i| node_throughput(i, &taus, &p)).sum();
+        prop_assert!((s - by_node).abs() < 1e-9);
+    }
+
+    #[test]
+    fn q_function_strictly_decreasing(n in 2usize..60, mode in any_mode()) {
+        let p = params(mode);
+        let mut prev = f64::INFINITY;
+        for i in 0..=50 {
+            let tau = f64::from(i) / 50.0;
+            let q = q_function(tau, n, &p);
+            prop_assert!(q < prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn ne_interval_well_formed(n in 2usize..12, mode in any_mode()) {
+        let p = params(mode);
+        let interval = ne_interval(n, &p, &UtilityParams::default(), 1024).unwrap();
+        prop_assert!(interval.lower >= 1);
+        prop_assert!(interval.lower <= interval.upper);
+        prop_assert!(interval.upper <= 1024);
+        prop_assert_eq!(interval.count(), interval.upper - interval.lower + 1);
+    }
+
+    #[test]
+    fn utilities_equal_for_symmetric_nodes(n in 2usize..30, w in 1u32..1500) {
+        let p = params(AccessMode::Basic);
+        let sym = solve_symmetric(n, w, &p).unwrap();
+        let taus = vec![sym.tau; n];
+        let ps = vec![sym.collision_prob; n];
+        let us = macgame_dcf::utility::all_utilities(&taus, &ps, &p, &UtilityParams::default());
+        for u in &us {
+            prop_assert!((u - us[0]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn access_slots_monotone_in_w_and_p(
+        w in 1u32..2000,
+        p in 0.0f64..0.90,
+        m in 0u32..7,
+    ) {
+        let base = mean_access_slots(w, p, m).unwrap();
+        let wider = mean_access_slots(w + 1, p, m).unwrap();
+        prop_assert!(wider > base, "E[S] must grow with W");
+        let busier = mean_access_slots(w, p + 0.04, m).unwrap();
+        prop_assert!(busier >= base - 1e-9, "E[S] must not shrink with p");
+        prop_assert!(base >= (f64::from(w) - 1.0) / 2.0 + 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn jain_index_bounds_and_scale_invariance(
+        alloc in prop::collection::vec(0.0f64..1e6, 1..20),
+        scale in 0.001f64..1000.0,
+    ) {
+        let idx = jain_index(&alloc);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&idx));
+        prop_assert!(idx >= 1.0 / alloc.len() as f64 - 1e-12);
+        let scaled: Vec<f64> = alloc.iter().map(|x| x * scale).collect();
+        prop_assert!((jain_index(&scaled) - idx).abs() < 1e-9);
+        let ratio = min_max_ratio(&alloc);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ratio));
+    }
+
+    #[test]
+    fn equal_allocations_are_fair(x in 0.0f64..1e9, n in 1usize..30) {
+        let alloc = vec![x; n];
+        prop_assert!((jain_index(&alloc) - 1.0).abs() < 1e-12);
+        prop_assert!((min_max_ratio(&alloc) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,500 @@
+//! Network-wide TFT convergence (paper Section VI.B, Theorem 3).
+//!
+//! Under TFT each node matches the minimum window it *hears*; the smallest
+//! window in the network therefore spreads one hop per stage, and on a
+//! connected graph every node converges to `W_m = min_i W_i` within
+//! `diameter` stages. Theorem 3: the profile `(W_m, …, W_m)` is a NE of
+//! the multi-hop game `G'` — Pareto optimal but in general not globally
+//! optimal (quasi-optimal in the experiments).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MultihopError;
+use crate::topology::Topology;
+
+/// Trace of the min-propagation dynamics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvergenceTrace {
+    /// Window profile at each round, starting with the initial profile.
+    pub rounds: Vec<Vec<u32>>,
+    /// The network-wide converged window (min over the start profile's
+    /// connected component mins; equal to the global min when connected).
+    pub final_windows: Vec<u32>,
+    /// Rounds needed until no window changed.
+    pub rounds_needed: usize,
+}
+
+impl ConvergenceTrace {
+    /// Whether all nodes ended on a single common window.
+    #[must_use]
+    pub fn uniform(&self) -> bool {
+        self.final_windows.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The common window if [`Self::uniform`].
+    #[must_use]
+    pub fn converged_window(&self) -> Option<u32> {
+        if self.uniform() {
+            self.final_windows.first().copied()
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs the TFT min-propagation dynamic from `initial` until it is stable.
+///
+/// Each round, every node simultaneously sets its window to the minimum
+/// over itself and its neighbors (what it overheard last stage).
+///
+/// # Examples
+///
+/// ```
+/// use macgame_multihop::convergence::tft_converge;
+/// use macgame_multihop::{Point, Topology};
+///
+/// // A 3-hop chain: the smallest window spreads one hop per round.
+/// let positions: Vec<Point> = (0..4).map(|i| Point::new(i as f64, 0.0)).collect();
+/// let topo = Topology::from_positions(&positions, 1.0);
+/// let trace = tft_converge(&topo, &[40, 30, 20, 10])?;
+/// assert_eq!(trace.converged_window(), Some(10));
+/// assert_eq!(trace.rounds_needed, 3);
+/// # Ok::<(), macgame_multihop::MultihopError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`MultihopError::InvalidInput`] if `initial` disagrees with the
+/// topology size or contains a zero window.
+pub fn tft_converge(
+    topology: &Topology,
+    initial: &[u32],
+) -> Result<ConvergenceTrace, MultihopError> {
+    if initial.len() != topology.len() {
+        return Err(MultihopError::InvalidInput(format!(
+            "{} windows for {} nodes",
+            initial.len(),
+            topology.len()
+        )));
+    }
+    if initial.contains(&0) {
+        return Err(MultihopError::InvalidInput("windows must be at least 1".into()));
+    }
+    let mut rounds = vec![initial.to_vec()];
+    let mut current = initial.to_vec();
+    loop {
+        let next: Vec<u32> = (0..current.len())
+            .map(|i| {
+                topology
+                    .neighbors(i)
+                    .iter()
+                    .map(|&j| current[j])
+                    .chain(std::iter::once(current[i]))
+                    .min()
+                    .expect("nonempty by construction")
+            })
+            .collect();
+        let stable = next == current;
+        current = next;
+        if stable {
+            break;
+        }
+        rounds.push(current.clone());
+        // Monotone and bounded below: can never loop, but guard anyway.
+        if rounds.len() > topology.len() + 2 {
+            return Err(MultihopError::InvalidInput(
+                "min-propagation failed to stabilize (impossible for valid graphs)".into(),
+            ));
+        }
+    }
+    let rounds_needed = rounds.len() - 1;
+    Ok(ConvergenceTrace { rounds, final_windows: current, rounds_needed })
+}
+
+/// Verdict of the Theorem 3 equilibrium check at the converged profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultihopNeCheck {
+    /// The converged common window `W_m`.
+    pub window: u32,
+    /// Whether no node has a profitable unilateral deviation.
+    pub is_ne: bool,
+    /// Worst (most tempted) node and its relative gain, for diagnostics.
+    pub worst: Option<(usize, f64)>,
+}
+
+/// Checks Theorem 3: at `(W_m, …, W_m)` with `W_m = min_i W_i*`, no node
+/// gains by deviating, because each node's local-game payoff is
+/// monotonically increasing in the common window up to its own local
+/// optimum `W_i* ≥ W_m` — so a downward deviation (followed by TFT dragging
+/// its whole neighborhood down) lands strictly below `W_m`'s payoff, and an
+/// upward deviation is immediately disfavored and pulled back.
+///
+/// The check prices a downward deviation for node `i` as: the deviator's
+/// local game (population `deg(i)+1`) with everyone at `w_dev` forever
+/// (post-punishment), versus everyone at `w_m` forever; plus the transient
+/// head stage priced with [`macgame_core::deviation`]'s machinery.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn check_multihop_ne(
+    topology: &Topology,
+    local_windows: &[u32],
+    w_m: u32,
+    game_template: &macgame_core::GameConfig,
+    epsilon: f64,
+) -> Result<MultihopNeCheck, MultihopError> {
+    if local_windows.len() != topology.len() {
+        return Err(MultihopError::InvalidInput(format!(
+            "{} windows for {} nodes",
+            local_windows.len(),
+            topology.len()
+        )));
+    }
+    let mut worst: Option<(usize, f64)> = None;
+    for i in 0..topology.len() {
+        let n_local = topology.local_population(i);
+        if n_local < 2 {
+            continue; // no contention, nothing to deviate over
+        }
+        let game = macgame_core::GameConfig::builder(n_local)
+            .params(*game_template.params())
+            .utility(*game_template.utility())
+            .stage_duration(game_template.stage_duration())
+            .discount(game_template.discount())
+            .w_max(game_template.w_max())
+            .build()
+            .map_err(|e| MultihopError::InvalidInput(e.to_string()))?;
+        let check = macgame_core::equilibrium::check_symmetric_ne(&game, w_m, 1, epsilon)
+            .map_err(MultihopError::from)?;
+        let compliant = macgame_core::deviation::symmetric_stage(&game, w_m)
+            .map_err(MultihopError::from)?
+            .abs()
+            .max(f64::MIN_POSITIVE);
+        if let Some((_, gain)) = check.best_deviation {
+            let rel = gain
+                / (game.stage_duration().value() * compliant / (1.0 - game.discount()));
+            if worst.map_or(true, |(_, g)| rel > g) {
+                worst = Some((i, rel));
+            }
+        }
+        if !check.is_ne {
+            return Ok(MultihopNeCheck { window: w_m, is_ne: false, worst });
+        }
+    }
+    Ok(MultihopNeCheck { window: w_m, is_ne: true, worst })
+}
+
+
+/// How a node reacts to (noisy) window observations of its neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GraphReaction {
+    /// Plain TFT: match the minimum observed window every round.
+    Tft,
+    /// Generous TFT: average each neighbor's observations over the last
+    /// `memory` rounds and only react when some neighbor's average
+    /// undercuts `tolerance ×` one's own window.
+    GenerousTft {
+        /// Averaging memory `r₀ ≥ 1`.
+        memory: usize,
+        /// Tolerance `β ∈ (0, 1]`.
+        tolerance: f64,
+    },
+}
+
+/// Trace of the noisy-observation dynamics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoisyTrace {
+    /// Window profile per round, starting with the initial profile.
+    pub rounds: Vec<Vec<u32>>,
+}
+
+impl NoisyTrace {
+    /// The final profile.
+    ///
+    /// # Panics
+    ///
+    /// Never: the trace always contains the initial round.
+    #[must_use]
+    pub fn final_windows(&self) -> &[u32] {
+        self.rounds.last().expect("initial round always present")
+    }
+}
+
+/// Runs `rounds` rounds of min-matching dynamics where every observation
+/// of a neighbor's window carries multiplicative noise
+/// `U[1 − noise, 1 + noise]` — the regime that motivates Generous TFT
+/// (paper Section IV: "taking into account the various factors that
+/// influence the measurement").
+///
+/// Under plain TFT the noise is rectified: each round every node matches
+/// the *minimum* of noisy estimates, so underestimates stick and the whole
+/// network ratchets below the true minimum. GTFT's averaging and tolerance
+/// absorb it.
+///
+/// # Errors
+///
+/// Returns [`MultihopError::InvalidInput`] for profile/topology mismatch,
+/// zero windows, `noise ∉ [0, 1)`, or invalid GTFT parameters.
+pub fn noisy_converge(
+    topology: &Topology,
+    initial: &[u32],
+    reaction: GraphReaction,
+    noise: f64,
+    rounds: usize,
+    seed: u64,
+) -> Result<NoisyTrace, MultihopError> {
+    use rand::{Rng, SeedableRng};
+    if initial.len() != topology.len() {
+        return Err(MultihopError::InvalidInput(format!(
+            "{} windows for {} nodes",
+            initial.len(),
+            topology.len()
+        )));
+    }
+    if initial.contains(&0) {
+        return Err(MultihopError::InvalidInput("windows must be at least 1".into()));
+    }
+    if !(0.0..1.0).contains(&noise) {
+        return Err(MultihopError::InvalidInput("noise must be in [0, 1)".into()));
+    }
+    if let GraphReaction::GenerousTft { memory, tolerance } = reaction {
+        if memory == 0 {
+            return Err(MultihopError::InvalidInput("GTFT memory must be at least 1".into()));
+        }
+        if !(tolerance > 0.0 && tolerance <= 1.0) {
+            return Err(MultihopError::InvalidInput("GTFT tolerance must be in (0, 1]".into()));
+        }
+    }
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let n = topology.len();
+    let mut current = initial.to_vec();
+    let mut trace = vec![current.clone()];
+    // Per-node, per-neighbor observation history (GTFT averaging).
+    let mut history: Vec<Vec<Vec<f64>>> =
+        (0..n).map(|i| vec![Vec::new(); topology.neighbors(i).len()]).collect();
+    for _ in 0..rounds {
+        let mut next = current.clone();
+        // Every node observes each neighbor once this round.
+        let observations: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                topology
+                    .neighbors(i)
+                    .iter()
+                    .map(|&j| {
+                        let eps = rng.gen_range(-noise..=noise);
+                        (f64::from(current[j]) * (1.0 + eps)).max(1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        for i in 0..n {
+            if observations[i].is_empty() {
+                continue;
+            }
+            match reaction {
+                GraphReaction::Tft => {
+                    let observed_min = observations[i]
+                        .iter()
+                        .copied()
+                        .fold(f64::INFINITY, f64::min)
+                        .round() as u32;
+                    next[i] = next[i].min(observed_min.max(1));
+                }
+                GraphReaction::GenerousTft { memory, tolerance } => {
+                    for (k, &obs) in observations[i].iter().enumerate() {
+                        let h = &mut history[i][k];
+                        h.push(obs);
+                        if h.len() > memory {
+                            h.remove(0);
+                        }
+                    }
+                    let my_w = f64::from(current[i]);
+                    let undercut = history[i].iter().any(|h| {
+                        !h.is_empty()
+                            && h.iter().sum::<f64>() / (h.len() as f64) < tolerance * my_w
+                    });
+                    if undercut {
+                        let observed_min = observations[i]
+                            .iter()
+                            .copied()
+                            .fold(f64::INFINITY, f64::min)
+                            .round() as u32;
+                        next[i] = next[i].min(observed_min.max(1));
+                    }
+                }
+            }
+        }
+        current = next;
+        trace.push(current.clone());
+    }
+    Ok(NoisyTrace { rounds: trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Topology {
+        let positions: Vec<crate::geometry::Point> =
+            (0..n).map(|i| crate::geometry::Point::new(i as f64, 0.0)).collect();
+        Topology::from_positions(&positions, 1.0)
+    }
+
+    #[test]
+    fn min_spreads_one_hop_per_round() {
+        let topo = line(5);
+        let trace = tft_converge(&topo, &[50, 40, 30, 20, 10]).unwrap();
+        assert!(trace.uniform());
+        assert_eq!(trace.converged_window(), Some(10));
+        // The min starts at one end of a diameter-4 line: 4 rounds.
+        assert_eq!(trace.rounds_needed, 4);
+    }
+
+    #[test]
+    fn convergence_bounded_by_diameter() {
+        let topo = line(8);
+        let trace = tft_converge(&topo, &[9, 3, 7, 5, 8, 2, 6, 4]).unwrap();
+        assert!(trace.rounds_needed <= topo.diameter().unwrap());
+        assert_eq!(trace.converged_window(), Some(2));
+    }
+
+    #[test]
+    fn already_uniform_needs_zero_rounds() {
+        let topo = line(4);
+        let trace = tft_converge(&topo, &[26; 4]).unwrap();
+        assert_eq!(trace.rounds_needed, 0);
+        assert_eq!(trace.converged_window(), Some(26));
+    }
+
+    #[test]
+    fn disconnected_components_keep_their_own_min() {
+        let positions = vec![
+            crate::geometry::Point::new(0.0, 0.0),
+            crate::geometry::Point::new(1.0, 0.0),
+            crate::geometry::Point::new(100.0, 0.0),
+            crate::geometry::Point::new(101.0, 0.0),
+        ];
+        let topo = Topology::from_positions(&positions, 1.5);
+        let trace = tft_converge(&topo, &[30, 20, 50, 40]).unwrap();
+        assert!(!trace.uniform());
+        assert_eq!(trace.final_windows, vec![20, 20, 40, 40]);
+    }
+
+    #[test]
+    fn input_validation() {
+        let topo = line(3);
+        assert!(tft_converge(&topo, &[1, 2]).is_err());
+        assert!(tft_converge(&topo, &[1, 0, 2]).is_err());
+    }
+
+    #[test]
+    fn theorem3_holds_on_a_line_network() {
+        use crate::localgame::{local_optimal_windows, LocalRule};
+        use macgame_dcf::{AccessMode, DcfParams, UtilityParams};
+        let topo = line(6);
+        let params = DcfParams::builder().access_mode(AccessMode::RtsCts).build().unwrap();
+        let ws = local_optimal_windows(
+            &topo,
+            &params,
+            &UtilityParams::default(),
+            2048,
+            LocalRule::ExactArgmax,
+        )
+        .unwrap();
+        let trace = tft_converge(&topo, &ws).unwrap();
+        let w_m = trace.converged_window().unwrap();
+        assert_eq!(ws.iter().copied().min().unwrap(), w_m);
+        let template = macgame_core::GameConfig::builder(2).params(params).build().unwrap();
+        let check = check_multihop_ne(&topo, &ws, w_m, &template, 1e-4).unwrap();
+        assert!(check.is_ne, "worst deviation: {:?}", check.worst);
+    }
+
+    #[test]
+    fn noiseless_dynamics_match_plain_convergence() {
+        let topo = line(5);
+        let initial = [50u32, 40, 30, 20, 10];
+        let exact = tft_converge(&topo, &initial).unwrap();
+        let noisy =
+            noisy_converge(&topo, &initial, GraphReaction::Tft, 0.0, 10, 1).unwrap();
+        assert_eq!(noisy.final_windows(), &exact.final_windows[..]);
+    }
+
+    #[test]
+    fn plain_tft_ratchets_below_true_minimum_under_noise() {
+        let topo = line(8);
+        let initial = [40u32; 8];
+        let noisy =
+            noisy_converge(&topo, &initial, GraphReaction::Tft, 0.2, 25, 7).unwrap();
+        let final_min = *noisy.final_windows().iter().min().unwrap();
+        assert!(
+            final_min < 30,
+            "noise rectification should have dragged windows down (min {final_min})"
+        );
+    }
+
+    #[test]
+    fn gtft_resists_the_same_noise() {
+        let topo = line(8);
+        let initial = [40u32; 8];
+        let gtft = noisy_converge(
+            &topo,
+            &initial,
+            GraphReaction::GenerousTft { memory: 4, tolerance: 0.75 },
+            0.2,
+            25,
+            7,
+        )
+        .unwrap();
+        let final_min = *gtft.final_windows().iter().min().unwrap();
+        assert!(
+            final_min >= 35,
+            "GTFT should hold near the true window (min {final_min})"
+        );
+    }
+
+    #[test]
+    fn gtft_still_reacts_to_real_defection() {
+        // One genuine defector at 10 among nodes at 40: GTFT must follow.
+        let topo = line(6);
+        let mut initial = [40u32; 6];
+        initial[0] = 10;
+        let gtft = noisy_converge(
+            &topo,
+            &initial,
+            GraphReaction::GenerousTft { memory: 3, tolerance: 0.8 },
+            0.05,
+            30,
+            3,
+        )
+        .unwrap();
+        let final_max = *gtft.final_windows().iter().max().unwrap();
+        assert!(final_max <= 14, "defection must propagate (max {final_max})");
+    }
+
+    #[test]
+    fn noisy_converge_validation() {
+        let topo = line(3);
+        assert!(noisy_converge(&topo, &[1, 2], GraphReaction::Tft, 0.1, 5, 0).is_err());
+        assert!(noisy_converge(&topo, &[1, 2, 0], GraphReaction::Tft, 0.1, 5, 0).is_err());
+        assert!(noisy_converge(&topo, &[1, 2, 3], GraphReaction::Tft, 1.0, 5, 0).is_err());
+        assert!(noisy_converge(
+            &topo,
+            &[1, 2, 3],
+            GraphReaction::GenerousTft { memory: 0, tolerance: 0.8 },
+            0.1,
+            5,
+            0
+        )
+        .is_err());
+        assert!(noisy_converge(
+            &topo,
+            &[1, 2, 3],
+            GraphReaction::GenerousTft { memory: 2, tolerance: 1.5 },
+            0.1,
+            5,
+            0
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for the multi-hop layer.
+
+use core::fmt;
+
+/// Errors produced by the multi-hop layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MultihopError {
+    /// An input (profile, topology, parameter) was rejected.
+    InvalidInput(String),
+    /// An analytical-model error.
+    Model(macgame_dcf::DcfError),
+    /// A game-layer error.
+    Game(macgame_core::GameError),
+}
+
+impl fmt::Display for MultihopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultihopError::InvalidInput(reason) => write!(f, "invalid multihop input: {reason}"),
+            MultihopError::Model(e) => write!(f, "model error: {e}"),
+            MultihopError::Game(e) => write!(f, "game error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MultihopError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MultihopError::Model(e) => Some(e),
+            MultihopError::Game(e) => Some(e),
+            MultihopError::InvalidInput(_) => None,
+        }
+    }
+}
+
+impl From<macgame_dcf::DcfError> for MultihopError {
+    fn from(e: macgame_dcf::DcfError) -> Self {
+        MultihopError::Model(e)
+    }
+}
+
+impl From<macgame_core::GameError> for MultihopError {
+    fn from(e: macgame_core::GameError) -> Self {
+        MultihopError::Game(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = MultihopError::InvalidInput("x".into());
+        assert!(e.to_string().contains("invalid multihop input"));
+        assert!(e.source().is_none());
+        let e = MultihopError::from(macgame_dcf::DcfError::invalid("n", "bad"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<MultihopError>();
+    }
+}

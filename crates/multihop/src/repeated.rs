@@ -1,0 +1,403 @@
+//! The multi-hop repeated game, played on the spatial simulator.
+//!
+//! Section VI's game `G'` run operationally: each stage, every node plays
+//! its window on the mobile network for `T` seconds, measures its payoff,
+//! *observes only its current neighbors'* windows, and applies TFT
+//! (`W_i ← min` over itself and its neighborhood). Mobility keeps changing
+//! who hears whom, which is exactly how the minimum spreads beyond its
+//! original neighborhood — the mechanism behind the paper's claim that
+//! "as long as the network is not partitioned, the CW values of all
+//! players will converge".
+
+use macgame_dcf::{MicroSecs, UtilityParams};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::convergence::GraphReaction;
+use crate::error::MultihopError;
+use crate::spatialsim::{SpatialConfig, SpatialEngine};
+
+/// One stage of the spatial repeated game.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialStage {
+    /// Window profile in force during the stage.
+    pub windows: Vec<u32>,
+    /// Per-node measured payoff rates (per µs of local channel time).
+    pub payoffs: Vec<f64>,
+    /// Whether the profile was uniform.
+    pub uniform: bool,
+}
+
+/// Convergence summary of a spatial repeated-game run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpatialConvergence {
+    /// Whether the final stage's profile was uniform.
+    pub converged: bool,
+    /// The common window if converged.
+    pub window: Option<u32>,
+    /// Stages played.
+    pub stages_played: usize,
+}
+
+/// Driver for TFT play over a mobile spatial network.
+#[derive(Debug)]
+pub struct SpatialRepeatedGame {
+    engine: SpatialEngine,
+    utility: UtilityParams,
+    stage_duration: MicroSecs,
+    windows: Vec<u32>,
+    stages: Vec<SpatialStage>,
+    reaction: GraphReaction,
+    observation_noise: f64,
+    noise_rng: ChaCha8Rng,
+    /// Per-node, per-neighbor-slot observation history for GTFT averaging,
+    /// keyed by neighbor id (neighborhoods change under mobility).
+    observation_history: Vec<std::collections::HashMap<usize, Vec<f64>>>,
+}
+
+impl SpatialRepeatedGame {
+    /// Creates the game: `initial_windows` per node (typically the local
+    /// optima of [`crate::localgame::local_optimal_windows`]), stages of
+    /// `stage_duration` on a network configured by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine construction failures.
+    pub fn new(
+        initial_windows: Vec<u32>,
+        config: SpatialConfig,
+        stage_duration: MicroSecs,
+    ) -> Result<Self, MultihopError> {
+        if stage_duration.value() <= 0.0 {
+            return Err(MultihopError::InvalidInput("stage duration must be positive".into()));
+        }
+        let utility = config.utility;
+        let seed = config.seed;
+        let n = initial_windows.len();
+        let engine = SpatialEngine::new(n, &initial_windows, config)?;
+        Ok(SpatialRepeatedGame {
+            engine,
+            utility,
+            stage_duration,
+            windows: initial_windows,
+            stages: Vec::new(),
+            reaction: GraphReaction::Tft,
+            observation_noise: 0.0,
+            noise_rng: ChaCha8Rng::seed_from_u64(seed.wrapping_add(0x6f62_7365)),
+            observation_history: vec![std::collections::HashMap::new(); n],
+        })
+    }
+
+    /// Switches the per-node reaction rule (default: plain TFT) and the
+    /// multiplicative observation noise `U[1−noise, 1+noise]` applied to
+    /// every neighbor-window reading (default: 0, perfect observation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultihopError::InvalidInput`] for `noise ∉ [0, 1)` or
+    /// invalid GTFT parameters.
+    pub fn with_observation(
+        mut self,
+        reaction: GraphReaction,
+        noise: f64,
+    ) -> Result<Self, MultihopError> {
+        if !(0.0..1.0).contains(&noise) {
+            return Err(MultihopError::InvalidInput("noise must be in [0, 1)".into()));
+        }
+        if let GraphReaction::GenerousTft { memory, tolerance } = reaction {
+            if memory == 0 {
+                return Err(MultihopError::InvalidInput("GTFT memory must be at least 1".into()));
+            }
+            if !(tolerance > 0.0 && tolerance <= 1.0) {
+                return Err(MultihopError::InvalidInput(
+                    "GTFT tolerance must be in (0, 1]".into(),
+                ));
+            }
+        }
+        self.reaction = reaction;
+        self.observation_noise = noise;
+        Ok(self)
+    }
+
+    /// Stages played so far.
+    #[must_use]
+    pub fn stages(&self) -> &[SpatialStage] {
+        &self.stages
+    }
+
+    /// The current window profile.
+    #[must_use]
+    pub fn windows(&self) -> &[u32] {
+        &self.windows
+    }
+
+    /// Access to the underlying engine (topology, clock, positions).
+    #[must_use]
+    pub fn engine(&self) -> &SpatialEngine {
+        &self.engine
+    }
+
+    /// Plays one stage: run, measure, then apply local TFT
+    /// (`W_i ← min(W_i, min of current neighbors' last-stage windows)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn play_stage(&mut self) -> Result<&SpatialStage, MultihopError> {
+        self.engine.set_windows(&self.windows)?;
+        let report = self.engine.run_for(self.stage_duration);
+        let payoffs =
+            (0..self.windows.len()).map(|i| report.payoff_rate(i, &self.utility)).collect();
+        let uniform = self.windows.windows(2).all(|w| w[0] == w[1]);
+        self.stages.push(SpatialStage { windows: self.windows.clone(), payoffs, uniform });
+        // Reaction update against the *current* topology (mobility moved
+        // nodes during the stage, so the neighborhoods are fresh). Each
+        // node observes each neighbor's window with multiplicative noise.
+        let topo = self.engine.topology().clone();
+        let previous = self.windows.clone();
+        for i in 0..self.windows.len() {
+            let neighbors = topo.neighbors(i);
+            if neighbors.is_empty() {
+                continue;
+            }
+            let observed: Vec<(usize, f64)> = neighbors
+                .iter()
+                .map(|&j| {
+                    let eps = if self.observation_noise > 0.0 {
+                        self.noise_rng.gen_range(-self.observation_noise..=self.observation_noise)
+                    } else {
+                        0.0
+                    };
+                    (j, (f64::from(previous[j]) * (1.0 + eps)).max(1.0))
+                })
+                .collect();
+            match self.reaction {
+                GraphReaction::Tft => {
+                    let observed_min = observed
+                        .iter()
+                        .map(|&(_, w)| w)
+                        .fold(f64::INFINITY, f64::min)
+                        .round() as u32;
+                    self.windows[i] = self.windows[i].min(observed_min.max(1));
+                }
+                GraphReaction::GenerousTft { memory, tolerance } => {
+                    let history = &mut self.observation_history[i];
+                    for &(j, w) in &observed {
+                        let h = history.entry(j).or_default();
+                        h.push(w);
+                        if h.len() > memory {
+                            h.remove(0);
+                        }
+                    }
+                    // Forget departed neighbors so stale grudges don't
+                    // linger across mobility.
+                    history.retain(|j, _| neighbors.contains(j));
+                    let my_w = f64::from(previous[i]);
+                    let undercut = history.values().any(|h| {
+                        !h.is_empty()
+                            && h.iter().sum::<f64>() / (h.len() as f64) < tolerance * my_w
+                    });
+                    if undercut {
+                        let observed_min = observed
+                            .iter()
+                            .map(|&(_, w)| w)
+                            .fold(f64::INFINITY, f64::min)
+                            .round() as u32;
+                        self.windows[i] = self.windows[i].min(observed_min.max(1));
+                    }
+                }
+            }
+        }
+        Ok(self.stages.last().expect("just pushed"))
+    }
+
+    /// Plays until the profile is uniform and stable for `quiet_stages`
+    /// stages or `max_stages` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn play_until_converged(
+        &mut self,
+        max_stages: usize,
+        quiet_stages: usize,
+    ) -> Result<SpatialConvergence, MultihopError> {
+        let quiet = quiet_stages.max(1);
+        let mut uniform_streak = 0usize;
+        while self.stages.len() < max_stages {
+            let stage = self.play_stage()?;
+            if stage.uniform {
+                uniform_streak += 1;
+                if uniform_streak >= quiet {
+                    return Ok(SpatialConvergence {
+                        converged: true,
+                        window: self.windows.first().copied(),
+                        stages_played: self.stages.len(),
+                    });
+                }
+            } else {
+                uniform_streak = 0;
+            }
+        }
+        let uniform = self.windows.windows(2).all(|w| w[0] == w[1]);
+        Ok(SpatialConvergence {
+            converged: uniform,
+            window: if uniform { self.windows.first().copied() } else { None },
+            stages_played: self.stages.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(seed: u64) -> SpatialConfig {
+        SpatialConfig::paper(seed)
+    }
+
+    #[test]
+    fn mobile_tft_converges_to_global_min() {
+        // 30 nodes, heterogeneous starts; with mobility the minimum spreads
+        // across changing neighborhoods until the profile is uniform.
+        let initials: Vec<u32> = (0..30).map(|i| 20 + (i as u32 * 7) % 60).collect();
+        let expect = *initials.iter().min().unwrap();
+        let mut game = SpatialRepeatedGame::new(
+            initials,
+            config(3),
+            MicroSecs::from_seconds(5.0),
+        )
+        .unwrap();
+        let outcome = game.play_until_converged(40, 2).unwrap();
+        assert!(outcome.converged, "did not converge in {} stages", outcome.stages_played);
+        assert_eq!(outcome.window, Some(expect));
+    }
+
+    #[test]
+    fn windows_never_increase_under_tft() {
+        let initials: Vec<u32> = (0..20).map(|i| 10 + (i as u32 * 13) % 50).collect();
+        let mut game = SpatialRepeatedGame::new(
+            initials.clone(),
+            config(5),
+            MicroSecs::from_seconds(2.0),
+        )
+        .unwrap();
+        game.play_stage().unwrap();
+        game.play_stage().unwrap();
+        let stages = game.stages();
+        for (a, b) in stages[0].windows.iter().zip(&stages[1].windows) {
+            assert!(b <= a);
+        }
+    }
+
+    #[test]
+    fn uniform_start_is_stable() {
+        let mut game = SpatialRepeatedGame::new(
+            vec![26; 15],
+            config(9),
+            MicroSecs::from_seconds(2.0),
+        )
+        .unwrap();
+        let outcome = game.play_until_converged(5, 2).unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.window, Some(26));
+        assert_eq!(outcome.stages_played, 2);
+    }
+
+    #[test]
+    fn payoffs_are_measured_each_stage() {
+        let mut game = SpatialRepeatedGame::new(
+            vec![16; 12],
+            config(11),
+            MicroSecs::from_seconds(3.0),
+        )
+        .unwrap();
+        game.play_stage().unwrap();
+        let stage = &game.stages()[0];
+        assert_eq!(stage.payoffs.len(), 12);
+        assert!(stage.payoffs.iter().any(|&p| p != 0.0));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SpatialRepeatedGame::new(vec![8; 3], config(0), MicroSecs::ZERO).is_err());
+        assert!(SpatialRepeatedGame::new(vec![], config(0), MicroSecs::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn noisy_tft_ratchets_but_gtft_holds_live() {
+        // The live-network version of the noisy-convergence result: same
+        // mesh, same noise, plain TFT drifts below the start while GTFT
+        // keeps the profile at the starting window.
+        let run = |reaction| {
+            let mut game = SpatialRepeatedGame::new(
+                vec![40; 20],
+                SpatialConfig { mobility: None, ..config(6) },
+                MicroSecs::from_seconds(1.0),
+            )
+            .unwrap()
+            .with_observation(reaction, 0.2)
+            .unwrap();
+            for _ in 0..15 {
+                game.play_stage().unwrap();
+            }
+            *game.windows().iter().min().unwrap()
+        };
+        let tft_min = run(crate::convergence::GraphReaction::Tft);
+        let gtft_min = run(crate::convergence::GraphReaction::GenerousTft {
+            memory: 4,
+            tolerance: 0.75,
+        });
+        assert!(tft_min < 40, "plain TFT should have ratcheted, min {tft_min}");
+        assert!(gtft_min >= 38, "GTFT should hold, min {gtft_min}");
+    }
+
+    #[test]
+    fn gtft_still_follows_real_defectors_live() {
+        let mut initials = vec![40u32; 15];
+        initials[0] = 10;
+        let mut game = SpatialRepeatedGame::new(
+            initials,
+            SpatialConfig { mobility: None, ..config(8) },
+            MicroSecs::from_seconds(1.0),
+        )
+        .unwrap()
+        .with_observation(
+            crate::convergence::GraphReaction::GenerousTft { memory: 3, tolerance: 0.8 },
+            0.05,
+        )
+        .unwrap();
+        for _ in 0..20 {
+            game.play_stage().unwrap();
+        }
+        // The defector's neighborhood (at least) must have followed down.
+        let followed = game.windows().iter().filter(|&&w| w <= 14).count();
+        assert!(followed > 1, "defection did not propagate: {:?}", game.windows());
+    }
+
+    #[test]
+    fn observation_validation() {
+        let mk = || {
+            SpatialRepeatedGame::new(
+                vec![8; 3],
+                config(0),
+                MicroSecs::from_seconds(1.0),
+            )
+            .unwrap()
+        };
+        assert!(mk().with_observation(crate::convergence::GraphReaction::Tft, 1.0).is_err());
+        assert!(mk()
+            .with_observation(
+                crate::convergence::GraphReaction::GenerousTft { memory: 0, tolerance: 0.5 },
+                0.1
+            )
+            .is_err());
+        assert!(mk()
+            .with_observation(
+                crate::convergence::GraphReaction::GenerousTft { memory: 2, tolerance: 2.0 },
+                0.1
+            )
+            .is_err());
+    }
+}

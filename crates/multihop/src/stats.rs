@@ -1,0 +1,170 @@
+//! Topology statistics.
+//!
+//! Summaries of the neighbor graphs the multi-hop experiments run on:
+//! degree distribution, contention-domain sizes, clustering coefficient
+//! and component structure — what you quote when describing a scenario
+//! ("100 nodes, degree 4/15.2/27, connected, diameter 7").
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::Topology;
+
+/// A graph summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of isolated (degree-0) nodes.
+    pub isolated: usize,
+    /// Connected-component sizes, descending.
+    pub component_sizes: Vec<usize>,
+    /// Diameter of the graph (`None` when disconnected).
+    pub diameter: Option<usize>,
+    /// Global clustering coefficient (mean over nodes of degree ≥ 2 of
+    /// the fraction of neighbor pairs that are themselves neighbors).
+    pub clustering: f64,
+}
+
+impl TopologyStats {
+    /// Whether the graph is connected.
+    #[must_use]
+    pub fn connected(&self) -> bool {
+        self.component_sizes.len() == 1
+    }
+}
+
+/// Computes [`TopologyStats`] for a topology.
+///
+/// # Examples
+///
+/// ```
+/// use macgame_multihop::{topology_stats, Point, Topology};
+///
+/// let positions: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+/// let stats = topology_stats(&Topology::from_positions(&positions, 1.0));
+/// assert!(stats.connected());
+/// assert_eq!(stats.diameter, Some(4));
+/// ```
+///
+/// # Panics
+///
+/// Never — every topology has at least one node by construction.
+#[must_use]
+pub fn topology_stats(topology: &Topology) -> TopologyStats {
+    let n = topology.len();
+    let degrees: Vec<usize> = (0..n).map(|i| topology.degree(i)).collect();
+    let edges = degrees.iter().sum::<usize>() / 2;
+    let mut component_sizes: Vec<usize> =
+        topology.components().into_iter().map(|c| c.len()).collect();
+    component_sizes.sort_unstable_by(|a, b| b.cmp(a));
+
+    // Clustering: fraction of connected neighbor pairs, per node.
+    let mut coefficients = Vec::new();
+    for i in 0..n {
+        let neighbors = topology.neighbors(i);
+        if neighbors.len() < 2 {
+            continue;
+        }
+        let mut closed = 0usize;
+        let mut pairs = 0usize;
+        for (a_idx, &a) in neighbors.iter().enumerate() {
+            for &b in &neighbors[a_idx + 1..] {
+                pairs += 1;
+                if topology.neighbors(a).contains(&b) {
+                    closed += 1;
+                }
+            }
+        }
+        coefficients.push(closed as f64 / pairs as f64);
+    }
+    let clustering = if coefficients.is_empty() {
+        0.0
+    } else {
+        coefficients.iter().sum::<f64>() / coefficients.len() as f64
+    };
+
+    TopologyStats {
+        nodes: n,
+        edges,
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        mean_degree: degrees.iter().sum::<usize>() as f64 / n as f64,
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        isolated: degrees.iter().filter(|&&d| d == 0).count(),
+        component_sizes,
+        diameter: topology.diameter(),
+        clustering,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+
+    fn line(n: usize) -> Topology {
+        let positions: Vec<Point> = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
+        Topology::from_positions(&positions, 1.0)
+    }
+
+    #[test]
+    fn line_graph_statistics() {
+        let s = topology_stats(&line(5));
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.isolated, 0);
+        assert!(s.connected());
+        assert_eq!(s.diameter, Some(4));
+        // A path has no triangles.
+        assert_eq!(s.clustering, 0.0);
+    }
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let t = Topology::from_adjacency(vec![vec![1, 2], vec![2], vec![]]);
+        let s = topology_stats(&t);
+        assert_eq!(s.edges, 3);
+        assert!((s.clustering - 1.0).abs() < 1e-12);
+        assert_eq!(s.diameter, Some(1));
+    }
+
+    #[test]
+    fn disconnected_components_sorted() {
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(500.0, 0.0),
+        ];
+        let t = Topology::from_positions(&positions, 1.5);
+        let s = topology_stats(&t);
+        assert_eq!(s.component_sizes, vec![3, 1, 1]);
+        assert!(!s.connected());
+        assert_eq!(s.diameter, None);
+        assert_eq!(s.isolated, 2);
+    }
+
+    #[test]
+    fn unit_disk_clustering_is_high() {
+        // Geometric graphs are strongly clustered; a random 60-node paper
+        // placement should be well above Erdős–Rényi levels.
+        use crate::geometry::Arena;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let arena = Arena::paper();
+        let positions: Vec<Point> = (0..60).map(|_| arena.random_point(&mut rng)).collect();
+        let t = Topology::from_positions(&positions, 250.0);
+        let s = topology_stats(&t);
+        assert!(s.clustering > 0.4, "clustering {}", s.clustering);
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests of the multi-hop substrate: mobility containment,
+//! topology invariants, and TFT min-propagation.
+
+use macgame_dcf::MicroSecs;
+use macgame_multihop::convergence::{noisy_converge, tft_converge, GraphReaction};
+use macgame_multihop::geometry::{Arena, Point};
+use macgame_multihop::mobility::{Mobility, WaypointConfig};
+use macgame_multihop::spatialsim::{SpatialConfig, SpatialEngine};
+use macgame_multihop::topology::Topology;
+use proptest::prelude::*;
+
+fn arb_positions(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn waypoint_positions_stay_in_arena(
+        n in 1usize..30,
+        seed in 0u64..200,
+        steps in 1usize..8,
+        dt_secs in 0.1f64..60.0,
+    ) {
+        let config = WaypointConfig::paper();
+        let mut m = Mobility::new(n, config, seed);
+        for _ in 0..steps {
+            m.step(MicroSecs::from_seconds(dt_secs));
+            for p in m.positions() {
+                prop_assert!(Arena::paper().contains(&p), "escaped: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn displacement_bounded_by_speed(
+        n in 1usize..20,
+        seed in 0u64..100,
+        dt_secs in 0.1f64..30.0,
+    ) {
+        let config = WaypointConfig::paper();
+        let mut m = Mobility::new(n, config, seed);
+        let before = m.positions();
+        m.step(MicroSecs::from_seconds(dt_secs));
+        for (a, b) in before.iter().zip(m.positions().iter()) {
+            prop_assert!(a.distance_to(b) <= 5.0 * dt_secs + 1e-6);
+        }
+    }
+
+    #[test]
+    fn topology_is_symmetric_and_loopless(
+        positions in arb_positions(1..40),
+        range in 50.0f64..500.0,
+    ) {
+        let topo = Topology::from_positions(&positions, range);
+        for i in 0..topo.len() {
+            prop_assert!(!topo.neighbors(i).contains(&i), "self-loop at {i}");
+            for &j in topo.neighbors(i) {
+                prop_assert!(topo.neighbors(j).contains(&i), "asymmetric edge {i}-{j}");
+                prop_assert!(positions[i].distance_to(&positions[j]) <= range);
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_the_nodes(
+        positions in arb_positions(1..40),
+        range in 50.0f64..400.0,
+    ) {
+        let topo = Topology::from_positions(&positions, range);
+        let comps = topo.components();
+        let mut seen = vec![false; topo.len()];
+        for comp in &comps {
+            for &i in comp {
+                prop_assert!(!seen[i], "node {i} in two components");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(comps.len() == 1, topo.is_connected());
+    }
+
+    #[test]
+    fn hidden_terminals_are_receivers_neighbors_only(
+        positions in arb_positions(2..30),
+        range in 100.0f64..400.0,
+    ) {
+        let topo = Topology::from_positions(&positions, range);
+        for s in 0..topo.len() {
+            for &r in topo.neighbors(s) {
+                for h in topo.hidden_terminals(s, r) {
+                    prop_assert!(topo.neighbors(r).contains(&h));
+                    prop_assert!(!topo.neighbors(s).contains(&h));
+                    prop_assert!(h != s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tft_converges_to_component_minimum_within_diameter(
+        positions in arb_positions(2..30),
+        range in 100.0f64..600.0,
+        seed_windows in prop::collection::vec(1u32..512, 2..30),
+    ) {
+        let topo = Topology::from_positions(&positions, range);
+        let windows: Vec<u32> =
+            (0..topo.len()).map(|i| seed_windows[i % seed_windows.len()]).collect();
+        let trace = tft_converge(&topo, &windows).unwrap();
+        // Every node ends at the minimum of its own component.
+        for comp in topo.components() {
+            let min = comp.iter().map(|&i| windows[i]).min().unwrap();
+            for &i in &comp {
+                prop_assert_eq!(trace.final_windows[i], min);
+            }
+        }
+        if let Some(d) = topo.diameter() {
+            prop_assert!(trace.rounds_needed <= d.max(1));
+        }
+    }
+
+    #[test]
+    fn min_propagation_is_monotone_per_round(
+        positions in arb_positions(2..20),
+        range in 100.0f64..600.0,
+        seed_windows in prop::collection::vec(1u32..512, 2..20),
+    ) {
+        let topo = Topology::from_positions(&positions, range);
+        let windows: Vec<u32> =
+            (0..topo.len()).map(|i| seed_windows[i % seed_windows.len()]).collect();
+        let trace = tft_converge(&topo, &windows).unwrap();
+        for pair in trace.rounds.windows(2) {
+            for (a, b) in pair[0].iter().zip(&pair[1]) {
+                prop_assert!(b <= a, "window increased during TFT propagation");
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_tft_windows_never_increase(
+        positions in arb_positions(2..20),
+        range in 100.0f64..600.0,
+        noise in 0.0f64..0.3,
+        seed in 0u64..50,
+    ) {
+        let topo = Topology::from_positions(&positions, range);
+        let initial = vec![64u32; topo.len()];
+        let trace =
+            noisy_converge(&topo, &initial, GraphReaction::Tft, noise, 10, seed).unwrap();
+        for pair in trace.rounds.windows(2) {
+            for (a, b) in pair[0].iter().zip(&pair[1]) {
+                prop_assert!(b <= a, "plain TFT must be monotone non-increasing");
+            }
+        }
+        prop_assert!(trace.final_windows().iter().all(|&w| w >= 1));
+    }
+
+    #[test]
+    fn gtft_never_ends_below_plain_tft(
+        positions in arb_positions(3..15),
+        range in 150.0f64..500.0,
+        seed in 0u64..30,
+    ) {
+        let topo = Topology::from_positions(&positions, range);
+        let initial = vec![50u32; topo.len()];
+        let tft =
+            noisy_converge(&topo, &initial, GraphReaction::Tft, 0.15, 15, seed).unwrap();
+        let gtft = noisy_converge(
+            &topo,
+            &initial,
+            GraphReaction::GenerousTft { memory: 3, tolerance: 0.8 },
+            0.15,
+            15,
+            seed,
+        )
+        .unwrap();
+        let tft_min = *tft.final_windows().iter().min().unwrap();
+        let gtft_min = *gtft.final_windows().iter().min().unwrap();
+        prop_assert!(gtft_min >= tft_min, "GTFT {gtft_min} vs TFT {tft_min}");
+    }
+
+    #[test]
+    fn spatial_engine_conservation_on_random_instances(
+        positions in arb_positions(2..15),
+        w in 4u32..128,
+        seed in 0u64..30,
+    ) {
+        let config = SpatialConfig { mobility: None, ..SpatialConfig::paper(seed) };
+        let n = positions.len();
+        let mut engine =
+            SpatialEngine::with_positions(positions, &vec![w; n], config).unwrap();
+        let report = engine.run_for(MicroSecs::from_seconds(2.0));
+        for (i, s) in report.node_stats.iter().enumerate() {
+            prop_assert_eq!(s.attempts, s.successes + s.collisions, "node {}", i);
+            prop_assert!(report.hidden[i].hidden_losses <= report.hidden[i].exposed_attempts);
+        }
+        prop_assert!(report.elapsed.value() >= 2.0 * 1e6);
+        for t in &report.local_elapsed {
+            prop_assert!(t.value() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Independent replications and summary statistics.
+//!
+//! Simulation point estimates (τ̂, payoff rates, throughput) carry
+//! sampling noise; the honest way to report them is mean ± confidence
+//! interval over independent replications. [`replicate`] runs the same
+//! configuration under distinct seeds and [`Summary`] reports
+//! mean / standard deviation / normal-approximation 95 % CI.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::report::StageReport;
+use crate::SimError;
+
+/// Mean, dispersion and 95 % confidence half-width of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub std_dev: f64,
+    /// Half-width of the normal-approximation 95 % CI for the mean.
+    pub ci95_half_width: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use macgame_sim::Summary;
+    ///
+    /// let s = Summary::of(&[1.0, 2.0, 3.0]);
+    /// assert_eq!(s.mean, 2.0);
+    /// assert!(s.covers(2.5));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample or non-finite values.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std_dev = if n < 2 {
+            0.0
+        } else {
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)).sqrt()
+        };
+        let ci95_half_width =
+            if n < 2 { f64::INFINITY } else { 1.96 * std_dev / (n as f64).sqrt() };
+        Summary { n, mean, std_dev, ci95_half_width }
+    }
+
+    /// Whether `value` lies inside the 95 % CI around the mean.
+    #[must_use]
+    pub fn covers(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci95_half_width
+    }
+}
+
+/// Runs `replications` independent simulations of `slots` slots each
+/// (seeds `base_seed, base_seed+1, …`) and returns the per-run reports.
+///
+/// # Errors
+///
+/// Propagates configuration failures.
+pub fn replicate(
+    config: &SimConfig,
+    slots: u64,
+    replications: usize,
+    base_seed: u64,
+) -> Result<Vec<StageReport>, SimError> {
+    if replications == 0 {
+        return Err(SimError::InvalidConfig("need at least one replication".into()));
+    }
+    let mut out = Vec::with_capacity(replications);
+    for r in 0..replications {
+        let rc = SimConfig::builder()
+            .params(*config.params())
+            .utility(*config.utility())
+            .windows(config.windows().to_vec())
+            .traffic(config.traffic())
+            .seed(base_seed.wrapping_add(r as u64))
+            .build()?;
+        let mut engine = Engine::new(&rc);
+        out.push(engine.run_slots(slots));
+    }
+    Ok(out)
+}
+
+/// Convenience: replicated estimate of one node's `τ̂` with a [`Summary`].
+///
+/// # Errors
+///
+/// Propagates failures from [`replicate`].
+pub fn tau_estimate(
+    config: &SimConfig,
+    node: usize,
+    slots: u64,
+    replications: usize,
+    base_seed: u64,
+) -> Result<Summary, SimError> {
+    let reports = replicate(config, slots, replications, base_seed)?;
+    let samples: Vec<f64> = reports.iter().map(|r| r.tau_hat(node)).collect();
+    Ok(Summary::of(&samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macgame_dcf::fixedpoint::solve_symmetric;
+    use macgame_dcf::DcfParams;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - (20.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(s.ci95_half_width > 0.0);
+        assert!(s.covers(5.0));
+    }
+
+    #[test]
+    fn single_sample_has_infinite_ci() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert!(s.ci95_half_width.is_infinite());
+    }
+
+    #[test]
+    fn replications_are_independent_and_distinct() {
+        let config = SimConfig::builder().symmetric(4, 32).build().unwrap();
+        let reports = replicate(&config, 5_000, 4, 100).unwrap();
+        assert_eq!(reports.len(), 4);
+        // Different seeds ⇒ different realizations.
+        assert!(reports.windows(2).any(|p| p[0] != p[1]));
+    }
+
+    #[test]
+    fn ci_covers_the_analytic_tau() {
+        let params = DcfParams::default();
+        let config = SimConfig::builder().symmetric(5, 76).build().unwrap();
+        let sym = solve_symmetric(5, 76, &params).unwrap();
+        let estimate = tau_estimate(&config, 0, 150_000, 8, 7).unwrap();
+        // Allow 2× the CI to keep the test robust to the normal approx.
+        assert!(
+            (estimate.mean - sym.tau).abs() <= 2.0 * estimate.ci95_half_width,
+            "mean {} ± {} vs analytic {}",
+            estimate.mean,
+            estimate.ci95_half_width,
+            sym.tau
+        );
+    }
+
+    #[test]
+    fn zero_replications_rejected() {
+        let config = SimConfig::builder().symmetric(2, 8).build().unwrap();
+        assert!(replicate(&config, 100, 0, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_summary_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

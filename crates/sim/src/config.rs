@@ -1,0 +1,189 @@
+//! Simulation configuration.
+
+use macgame_dcf::{DcfParams, UtilityParams};
+use serde::{Deserialize, Serialize};
+
+use crate::traffic::TrafficModel;
+
+/// Configuration of a single-hop saturated DCF simulation.
+///
+/// # Examples
+///
+/// ```
+/// use macgame_sim::SimConfig;
+///
+/// let config = SimConfig::builder()
+///     .windows(vec![32, 32, 64])
+///     .seed(7)
+///     .build()?;
+/// assert_eq!(config.node_count(), 3);
+/// # Ok::<(), macgame_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    params: DcfParams,
+    utility: UtilityParams,
+    windows: Vec<u32>,
+    seed: u64,
+    traffic: TrafficModel,
+}
+
+impl SimConfig {
+    /// Starts a builder with Table I parameters, two nodes at `W = 32` and
+    /// seed 0.
+    #[must_use]
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// Protocol parameters.
+    #[must_use]
+    pub fn params(&self) -> &DcfParams {
+        &self.params
+    }
+
+    /// Utility (gain/cost) parameters used for payoff accounting.
+    #[must_use]
+    pub fn utility(&self) -> &UtilityParams {
+        &self.utility
+    }
+
+    /// Initial per-node contention windows.
+    #[must_use]
+    pub fn windows(&self) -> &[u32] {
+        &self.windows
+    }
+
+    /// RNG seed; equal seeds give bit-identical runs.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of simulated nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Traffic generation model.
+    #[must_use]
+    pub fn traffic(&self) -> TrafficModel {
+        self.traffic
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    params: DcfParams,
+    utility: UtilityParams,
+    windows: Vec<u32>,
+    seed: u64,
+    traffic: TrafficModel,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder {
+            params: DcfParams::default(),
+            utility: UtilityParams::default(),
+            windows: vec![32, 32],
+            seed: 0,
+            traffic: TrafficModel::Saturated,
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Sets the protocol parameters.
+    pub fn params(&mut self, params: DcfParams) -> &mut Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the utility parameters.
+    pub fn utility(&mut self, utility: UtilityParams) -> &mut Self {
+        self.utility = utility;
+        self
+    }
+
+    /// Sets the per-node contention windows (one entry per node).
+    pub fn windows(&mut self, windows: Vec<u32>) -> &mut Self {
+        self.windows = windows;
+        self
+    }
+
+    /// Convenience: `n` nodes all on window `w`.
+    pub fn symmetric(&mut self, n: usize, w: u32) -> &mut Self {
+        self.windows = vec![w; n];
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the traffic model (default: saturated, as in the paper).
+    pub fn traffic(&mut self, traffic: TrafficModel) -> &mut Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::InvalidConfig`] if there are no nodes,
+    /// any window is zero, or a Poisson rate is negative/non-finite.
+    pub fn build(&self) -> Result<SimConfig, crate::SimError> {
+        if self.windows.is_empty() {
+            return Err(crate::SimError::InvalidConfig("need at least one node".into()));
+        }
+        if self.windows.contains(&0) {
+            return Err(crate::SimError::InvalidConfig(
+                "contention windows must be at least 1".into(),
+            ));
+        }
+        if let TrafficModel::Poisson { packets_per_second } = self.traffic {
+            if !(packets_per_second.is_finite() && packets_per_second >= 0.0) {
+                return Err(crate::SimError::InvalidConfig(
+                    "arrival rate must be finite and non-negative".into(),
+                ));
+            }
+        }
+        Ok(SimConfig {
+            params: self.params,
+            utility: self.utility,
+            windows: self.windows.clone(),
+            seed: self.seed,
+            traffic: self.traffic,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let c = SimConfig::builder().build().unwrap();
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.seed(), 0);
+    }
+
+    #[test]
+    fn symmetric_helper() {
+        let c = SimConfig::builder().symmetric(5, 76).build().unwrap();
+        assert_eq!(c.windows(), &[76; 5]);
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_windows() {
+        assert!(SimConfig::builder().windows(vec![]).build().is_err());
+        assert!(SimConfig::builder().windows(vec![8, 0]).build().is_err());
+    }
+}

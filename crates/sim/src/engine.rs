@@ -1,0 +1,595 @@
+//! The single-hop slot-level simulation engine.
+//!
+//! Implements the slotted contention process that the analytical model
+//! abstracts: in each virtual slot, every node whose backoff counter is
+//! zero transmits; zero transmitters make an idle slot of length σ, one
+//! makes a success of length `T_s`, several make a collision of length
+//! `T_c`. Non-transmitting nodes step their counters once per slot, in the
+//! Bianchi slot abstraction.
+//!
+//! The engine persists across game stages: [`Engine::set_windows`] applies
+//! a new strategy profile and [`Engine::run_slots`]/[`Engine::run_for`]
+//! measure one interval.
+
+use macgame_dcf::MicroSecs;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::delay::DelayTracker;
+use crate::node::Node;
+use crate::report::{ChannelCounts, StageReport};
+use crate::traffic::TrafficModel;
+use crate::SimError;
+
+/// Outcome of one simulated slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlotOutcome {
+    /// Nobody transmitted.
+    Idle,
+    /// Exactly one node transmitted successfully.
+    Success {
+        /// The transmitting node.
+        node: usize,
+    },
+    /// Two or more nodes collided.
+    Collision {
+        /// Number of simultaneous transmitters.
+        transmitters: usize,
+    },
+}
+
+/// The single-hop DCF simulation engine.
+///
+/// # Examples
+///
+/// ```
+/// use macgame_sim::{Engine, SimConfig};
+///
+/// let config = SimConfig::builder().symmetric(5, 76).seed(1).build()?;
+/// let mut engine = Engine::new(&config);
+/// let report = engine.run_slots(200_000);
+/// // Per-node τ̂ should approximate the analytic fixed point (~0.0226).
+/// assert!((report.tau_hat(0) - 0.0226).abs() < 0.004);
+/// # Ok::<(), macgame_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: SimConfig,
+    nodes: Vec<Node>,
+    rng: ChaCha8Rng,
+    clock: MicroSecs,
+    total_slots: u64,
+    transmit_buffer: Vec<usize>,
+    delay: DelayTracker,
+    queues: Vec<u64>,
+    arrivals: Vec<u64>,
+    last_slot_duration: MicroSecs,
+}
+
+impl Engine {
+    /// Creates an engine from a configuration; per-node backoff states are
+    /// seeded deterministically from `config.seed()`.
+    #[must_use]
+    pub fn new(config: &SimConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed());
+        let m = config.params().max_backoff_stage();
+        let nodes = config.windows().iter().map(|&w| Node::new(w, m, &mut rng)).collect();
+        let delay = DelayTracker::new(config.node_count());
+        let n = config.node_count();
+        Engine {
+            config: config.clone(),
+            nodes,
+            rng,
+            clock: MicroSecs::ZERO,
+            total_slots: 0,
+            transmit_buffer: Vec::new(),
+            delay,
+            queues: vec![0; n],
+            arrivals: vec![0; n],
+            last_slot_duration: config.params().sigma(),
+        }
+    }
+
+    /// Current queue length of `node` (always 0 under saturated traffic —
+    /// the backlog is conceptually infinite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn queue_len(&self, node: usize) -> u64 {
+        self.queues[node]
+    }
+
+    /// Total packet arrivals generated for `node` so far (0 under
+    /// saturated traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn total_arrivals(&self, node: usize) -> u64 {
+        self.arrivals[node]
+    }
+
+    /// Number of simulated nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total channel time simulated so far.
+    #[must_use]
+    pub fn clock(&self) -> MicroSecs {
+        self.clock
+    }
+
+    /// Total slots simulated so far.
+    #[must_use]
+    pub fn total_slots(&self) -> u64 {
+        self.total_slots
+    }
+
+    /// Current window profile.
+    #[must_use]
+    pub fn windows(&self) -> Vec<u32> {
+        self.nodes.iter().map(Node::window).collect()
+    }
+
+    /// Applies a new window profile (one entry per node), e.g. at a game
+    /// stage boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the profile length does not
+    /// match the node count or contains a zero window.
+    pub fn set_windows(&mut self, windows: &[u32]) -> Result<(), SimError> {
+        if windows.len() != self.nodes.len() {
+            return Err(SimError::InvalidConfig(format!(
+                "profile has {} entries for {} nodes",
+                windows.len(),
+                self.nodes.len()
+            )));
+        }
+        if windows.contains(&0) {
+            return Err(SimError::InvalidConfig("contention windows must be at least 1".into()));
+        }
+        for (node, &w) in self.nodes.iter_mut().zip(windows) {
+            if node.window() != w {
+                node.set_window(w, &mut self.rng);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets one node's window, leaving the rest untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `node` is out of range or
+    /// `window` is zero.
+    pub fn set_window(&mut self, node: usize, window: u32) -> Result<(), SimError> {
+        if node >= self.nodes.len() {
+            return Err(SimError::InvalidConfig(format!("node {node} out of range")));
+        }
+        if window == 0 {
+            return Err(SimError::InvalidConfig("contention windows must be at least 1".into()));
+        }
+        self.nodes[node].set_window(window, &mut self.rng);
+        Ok(())
+    }
+
+    /// Simulates one slot and returns its outcome.
+    pub fn step(&mut self) -> SlotOutcome {
+        // Packet arrivals (Poisson mode): credited at slot boundaries,
+        // using the previous slot's duration as the arrival window. A
+        // packet reaching an empty queue re-arms the node with a fresh
+        // stage-0 backoff (802.11 post-idle behaviour).
+        if let model @ TrafficModel::Poisson { .. } = self.config.traffic() {
+            let dt = self.last_slot_duration.value();
+            for i in 0..self.nodes.len() {
+                let arrived = model.sample_arrivals(dt, &mut self.rng);
+                if arrived > 0 {
+                    let was_empty = self.queues[i] == 0;
+                    self.arrivals[i] += arrived;
+                    self.queues[i] += arrived;
+                    if was_empty {
+                        let w = self.nodes[i].window();
+                        self.nodes[i].set_window(w, &mut self.rng);
+                    }
+                }
+            }
+        }
+        self.transmit_buffer.clear();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.wants_to_transmit()
+                && (self.config.traffic().is_saturated() || self.queues[i] > 0)
+            {
+                self.transmit_buffer.push(i);
+            }
+        }
+        let timings = self.config.params().timings();
+        let outcome = match self.transmit_buffer.len() {
+            0 => {
+                self.clock += self.config.params().sigma();
+                SlotOutcome::Idle
+            }
+            1 => {
+                self.clock += timings.success_time;
+                SlotOutcome::Success { node: self.transmit_buffer[0] }
+            }
+            k => {
+                self.clock += timings.collision_time;
+                SlotOutcome::Collision { transmitters: k }
+            }
+        };
+        // Resolve transmitters first, then step everyone else's counter.
+        match outcome {
+            SlotOutcome::Idle => {}
+            SlotOutcome::Success { node } => {
+                self.nodes[node].on_success(&mut self.rng);
+                self.delay.record_success(node, self.total_slots);
+                if !self.config.traffic().is_saturated() {
+                    self.queues[node] -= 1;
+                }
+            }
+            SlotOutcome::Collision { .. } => {
+                for idx in 0..self.transmit_buffer.len() {
+                    let i = self.transmit_buffer[idx];
+                    self.nodes[i].on_collision(&mut self.rng);
+                }
+            }
+        }
+        let saturated = self.config.traffic().is_saturated();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let active = saturated || self.queues[i] > 0;
+            if active && !self.transmit_buffer.contains(&i) && !node.wants_to_transmit() {
+                node.observe_slot();
+            }
+        }
+        self.last_slot_duration = match outcome {
+            SlotOutcome::Idle => self.config.params().sigma(),
+            SlotOutcome::Success { .. } => timings.success_time,
+            SlotOutcome::Collision { .. } => timings.collision_time,
+        };
+        self.total_slots += 1;
+        outcome
+    }
+
+    /// Lifetime per-node service-interval statistics (slots between
+    /// consecutive successes — the measured head-of-line access delay).
+    #[must_use]
+    pub fn delay_tracker(&self) -> &DelayTracker {
+        &self.delay
+    }
+
+    /// Measured mean head-of-line access delay of `node` in channel time:
+    /// mean service interval (slots) × mean observed slot length.
+    /// `None` until the node has completed at least one interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn mean_access_delay(&self, node: usize) -> Option<MicroSecs> {
+        let mean_slots = self.delay.mean_slots(node)?;
+        if self.total_slots == 0 {
+            return None;
+        }
+        let mean_slot = self.clock.value() / self.total_slots as f64;
+        Some(MicroSecs::new(mean_slots * mean_slot))
+    }
+
+    /// Runs `slots` slots and reports the interval's measurements.
+    #[must_use]
+    pub fn run_slots(&mut self, slots: u64) -> StageReport {
+        let baseline: Vec<_> = self.nodes.iter().map(|n| *n.stats()).collect();
+        let clock_start = self.clock;
+        let mut channel = ChannelCounts::default();
+        for _ in 0..slots {
+            match self.step() {
+                SlotOutcome::Idle => channel.idle += 1,
+                SlotOutcome::Success { .. } => channel.success += 1,
+                SlotOutcome::Collision { .. } => channel.collision += 1,
+            }
+        }
+        self.finish_report(&baseline, clock_start, channel)
+    }
+
+    /// Runs until at least `duration` of channel time elapses and reports
+    /// the interval's measurements.
+    #[must_use]
+    pub fn run_for(&mut self, duration: MicroSecs) -> StageReport {
+        let baseline: Vec<_> = self.nodes.iter().map(|n| *n.stats()).collect();
+        let clock_start = self.clock;
+        let deadline = self.clock + duration;
+        let mut channel = ChannelCounts::default();
+        while self.clock < deadline {
+            match self.step() {
+                SlotOutcome::Idle => channel.idle += 1,
+                SlotOutcome::Success { .. } => channel.success += 1,
+                SlotOutcome::Collision { .. } => channel.collision += 1,
+            }
+        }
+        self.finish_report(&baseline, clock_start, channel)
+    }
+
+    fn finish_report(
+        &self,
+        baseline: &[crate::node::NodeStats],
+        clock_start: MicroSecs,
+        channel: ChannelCounts,
+    ) -> StageReport {
+        StageReport {
+            node_stats: self
+                .nodes
+                .iter()
+                .zip(baseline)
+                .map(|(n, b)| n.stats().delta_since(b))
+                .collect(),
+            channel,
+            elapsed: self.clock - clock_start,
+            windows: self.windows(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macgame_dcf::fixedpoint::solve_symmetric;
+    use macgame_dcf::{AccessMode, DcfParams};
+
+    fn engine(n: usize, w: u32, seed: u64) -> Engine {
+        let config = SimConfig::builder().symmetric(n, w).seed(seed).build().unwrap();
+        Engine::new(&config)
+    }
+
+    #[test]
+    fn slots_partition_into_outcomes() {
+        let mut e = engine(5, 32, 3);
+        let r = e.run_slots(10_000);
+        assert_eq!(r.channel.total(), 10_000);
+        assert_eq!(e.total_slots(), 10_000);
+    }
+
+    #[test]
+    fn attempts_equal_channel_events() {
+        // Each success slot has exactly 1 attempting node; collisions ≥ 2.
+        let mut e = engine(4, 16, 9);
+        let r = e.run_slots(20_000);
+        let successes: u64 = r.node_stats.iter().map(|s| s.successes).sum();
+        let attempts: u64 = r.node_stats.iter().map(|s| s.attempts).sum();
+        let collisions: u64 = r.node_stats.iter().map(|s| s.collisions).sum();
+        assert_eq!(successes, r.channel.success);
+        assert_eq!(attempts, successes + collisions);
+        assert!(collisions >= 2 * r.channel.collision);
+    }
+
+    #[test]
+    fn elapsed_matches_outcome_mix() {
+        let p = DcfParams::default();
+        let mut e = engine(3, 32, 1);
+        let r = e.run_slots(5_000);
+        let t = p.timings();
+        let expect = r.channel.idle as f64 * p.sigma().value()
+            + r.channel.success as f64 * t.success_time.value()
+            + r.channel.collision as f64 * t.collision_time.value();
+        assert!((r.elapsed.value() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let r1 = engine(5, 64, 77).run_slots(5_000);
+        let r2 = engine(5, 64, 77).run_slots(5_000);
+        assert_eq!(r1, r2);
+        let r3 = engine(5, 64, 78).run_slots(5_000);
+        assert_ne!(r1, r3);
+    }
+
+    #[test]
+    fn tau_hat_tracks_analytic_fixed_point() {
+        let p = DcfParams::default();
+        for &(n, w) in &[(5usize, 76u32), (10, 128), (3, 16)] {
+            let sym = solve_symmetric(n, w, &p).unwrap();
+            let mut e = engine(n, w, 1234);
+            let r = e.run_slots(300_000);
+            for i in 0..n {
+                let rel = (r.tau_hat(i) - sym.tau).abs() / sym.tau;
+                assert!(
+                    rel < 0.06,
+                    "n={n} W={w} node {i}: τ̂={} vs τ={} ({:.1}% off)",
+                    r.tau_hat(i),
+                    sym.tau,
+                    rel * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p_hat_tracks_analytic_fixed_point() {
+        let p = DcfParams::default();
+        let sym = solve_symmetric(5, 76, &p).unwrap();
+        let mut e = engine(5, 76, 4321);
+        let r = e.run_slots(400_000);
+        for i in 0..5 {
+            let rel = (r.p_hat(i) - sym.collision_prob).abs() / sym.collision_prob;
+            assert!(rel < 0.1, "node {i}: p̂={} vs p={}", r.p_hat(i), sym.collision_prob);
+        }
+    }
+
+    #[test]
+    fn aggressive_node_wins_more() {
+        // Lemma 1, operationally: the node with the smaller window gets
+        // more successes and sees fewer collisions per attempt.
+        let config = SimConfig::builder().windows(vec![16, 128]).seed(5).build().unwrap();
+        let mut e = Engine::new(&config);
+        let r = e.run_slots(100_000);
+        assert!(r.node_stats[0].successes > 2 * r.node_stats[1].successes);
+        assert!(r.p_hat(0) < r.p_hat(1));
+    }
+
+    #[test]
+    fn rtscts_timing_applied() {
+        let params =
+            DcfParams::builder().access_mode(AccessMode::RtsCts).build().unwrap();
+        let config =
+            SimConfig::builder().params(params).symmetric(5, 16).seed(11).build().unwrap();
+        let mut e = Engine::new(&config);
+        let r = e.run_slots(10_000);
+        let t = params.timings();
+        let expect = r.channel.idle as f64 * params.sigma().value()
+            + r.channel.success as f64 * t.success_time.value()
+            + r.channel.collision as f64 * t.collision_time.value();
+        assert!((r.elapsed.value() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn run_for_respects_duration() {
+        let mut e = engine(5, 32, 2);
+        let r = e.run_for(MicroSecs::from_seconds(1.0));
+        assert!(r.elapsed.value() >= 1e6);
+        // Overshoot is bounded by one busy slot.
+        assert!(r.elapsed.value() < 1e6 + 10_000.0);
+    }
+
+    #[test]
+    fn set_windows_switches_profile() {
+        let mut e = engine(3, 16, 8);
+        e.set_windows(&[256, 256, 256]).unwrap();
+        assert_eq!(e.windows(), vec![256, 256, 256]);
+        let r = e.run_slots(50_000);
+        // Wide windows ⇒ low attempt rate.
+        assert!(r.tau_hat(0) < 0.02);
+        assert!(e.set_windows(&[1, 2]).is_err());
+        assert!(e.set_windows(&[0, 1, 2]).is_err());
+        assert!(e.set_window(9, 8).is_err());
+        assert!(e.set_window(0, 0).is_err());
+    }
+
+    #[test]
+    fn single_node_never_collides() {
+        let mut e = engine(1, 8, 3);
+        let r = e.run_slots(10_000);
+        assert_eq!(r.node_stats[0].collisions, 0);
+        assert_eq!(r.channel.collision, 0);
+    }
+
+    #[test]
+    fn poisson_light_load_delivers_offered_traffic() {
+        use crate::traffic::TrafficModel;
+        // 3 nodes at 2 packets/s each: offered load is a few percent of
+        // the channel — everything should get through with few collisions.
+        let config = SimConfig::builder()
+            .symmetric(3, 32)
+            .traffic(TrafficModel::Poisson { packets_per_second: 2.0 })
+            .seed(77)
+            .build()
+            .unwrap();
+        let mut e = Engine::new(&config);
+        let r = e.run_for(MicroSecs::from_seconds(100.0));
+        let delivered: u64 = r.node_stats.iter().map(|s| s.successes).sum();
+        let offered: u64 = (0..3).map(|i| e.total_arrivals(i)).sum();
+        let backlog: u64 = (0..3).map(|i| e.queue_len(i)).sum();
+        // Conservation: every arrival is delivered or still queued.
+        assert_eq!(offered, delivered + backlog);
+        // Light load: backlog negligible, delivery ≈ offered ≈ 100 s × 6/s.
+        assert!(backlog < 5, "backlog {backlog}");
+        assert!((delivered as f64 - 600.0).abs() < 80.0, "delivered {delivered}");
+        // And the channel is mostly idle.
+        assert!(r.channel.idle > 50 * (r.channel.success + r.channel.collision));
+    }
+
+    #[test]
+    fn poisson_heavy_load_approaches_saturation() {
+        use crate::traffic::TrafficModel;
+        // Offered load far beyond capacity: τ̂ should match the saturated
+        // run with the same windows.
+        let mk = |traffic| {
+            let config = SimConfig::builder()
+                .symmetric(4, 32)
+                .traffic(traffic)
+                .seed(5)
+                .build()
+                .unwrap();
+            let mut e = Engine::new(&config);
+            e.run_slots(200_000)
+        };
+        let saturated = mk(TrafficModel::Saturated);
+        let flooded = mk(TrafficModel::Poisson { packets_per_second: 1000.0 });
+        for i in 0..4 {
+            let rel = (saturated.tau_hat(i) - flooded.tau_hat(i)).abs() / saturated.tau_hat(i);
+            assert!(
+                rel < 0.05,
+                "node {i}: saturated τ̂ {} vs flooded τ̂ {}",
+                saturated.tau_hat(i),
+                flooded.tau_hat(i)
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_silent_network_stays_idle() {
+        use crate::traffic::TrafficModel;
+        let config = SimConfig::builder()
+            .symmetric(3, 8)
+            .traffic(TrafficModel::Poisson { packets_per_second: 0.0 })
+            .seed(1)
+            .build()
+            .unwrap();
+        let mut e = Engine::new(&config);
+        let r = e.run_slots(5_000);
+        assert_eq!(r.channel.success + r.channel.collision, 0);
+        assert_eq!(r.channel.idle, 5_000);
+    }
+
+    #[test]
+    fn measured_service_interval_tracks_analytic_delay() {
+        // Mean slots between successes ≈ the chain's predicted mean access
+        // slots at the fixed point.
+        use macgame_dcf::delay::mean_access_slots;
+        let p = DcfParams::default();
+        let (n, w) = (5usize, 64u32);
+        let sym = solve_symmetric(n, w, &p).unwrap();
+        let mut e = engine(n, w, 2024);
+        let _ = e.run_slots(400_000);
+        let predicted =
+            mean_access_slots(w, sym.collision_prob, p.max_backoff_stage()).unwrap();
+        for i in 0..n {
+            let measured = e.delay_tracker().mean_slots(i).expect("plenty of samples");
+            let rel = (measured - predicted).abs() / predicted;
+            assert!(
+                rel < 0.1,
+                "node {i}: measured {measured:.1} slots vs predicted {predicted:.1}"
+            );
+        }
+        // Channel-time delay is the slot count scaled by the mean slot.
+        let d = e.mean_access_delay(0).unwrap();
+        assert!(d.value() > 0.0);
+    }
+
+    #[test]
+    fn stage_report_payoff_consistent_with_utility_model() {
+        // Measured payoff rate ≈ analytic u_i at the same operating point.
+        use macgame_dcf::utility::{node_utility, UtilityParams};
+        let p = DcfParams::default();
+        let n = 5;
+        let w = 76;
+        let sym = solve_symmetric(n, w, &p).unwrap();
+        let analytic = node_utility(
+            0,
+            &vec![sym.tau; n],
+            &vec![sym.collision_prob; n],
+            &p,
+            &UtilityParams::default(),
+        );
+        let mut e = engine(n, w, 99);
+        let r = e.run_slots(400_000);
+        let measured = r.payoff_rate(0, &UtilityParams::default());
+        let rel = (measured - analytic).abs() / analytic;
+        assert!(rel < 0.08, "measured {measured} vs analytic {analytic}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for the simulator.
+
+use core::fmt;
+
+/// Errors produced by the simulation layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value was rejected.
+    InvalidConfig(String),
+    /// An analytical-model error surfaced through the simulator.
+    Model(macgame_dcf::DcfError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(reason) => write!(f, "invalid simulation config: {reason}"),
+            SimError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            SimError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<macgame_dcf::DcfError> for SimError {
+    fn from(e: macgame_dcf::DcfError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::InvalidConfig("boom".into());
+        assert_eq!(e.to_string(), "invalid simulation config: boom");
+        assert!(e.source().is_none());
+        let inner = macgame_dcf::DcfError::invalid("w", "bad");
+        let e = SimError::from(inner.clone());
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,209 @@
+//! Estimating a peer's contention window from overheard traffic.
+//!
+//! The TFT strategy requires each player to "measure the CW value of any
+//! other player in the last stage" (paper Section IV; the mechanics of such
+//! measurement in saturated networks are due to Kyasanur & Vaidya, DSN'03).
+//! In promiscuous mode a node sees every attempt on the channel, so it can
+//! count each peer's attempts per slot, estimate `τ̂_j`, estimate the
+//! channel state `p̂_j` the peer faces, and invert the backoff chain
+//! `τ(W, p̂_j)` — strictly decreasing in `W` — to recover `Ŵ_j`.
+
+use macgame_dcf::markov::transmission_probability;
+use macgame_dcf::DcfError;
+use serde::{Deserialize, Serialize};
+
+use crate::report::StageReport;
+
+/// A peer-window estimate with its inputs, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowEstimate {
+    /// Estimated initial contention window `Ŵ`.
+    pub window: u32,
+    /// The measured per-slot attempt rate the estimate inverts.
+    pub tau_hat: f64,
+    /// The collision probability assumed for the peer.
+    pub p_hat: f64,
+}
+
+/// Inverts the backoff chain: the window `Ŵ ∈ [1, w_max]` whose
+/// `τ(Ŵ, p_hat)` is closest to `tau_hat`.
+///
+/// # Examples
+///
+/// ```
+/// use macgame_dcf::markov::transmission_probability;
+/// use macgame_sim::invert_window;
+///
+/// // The exact τ of W = 76 inverts back to 76.
+/// let tau = transmission_probability(76, 0.1, 5)?;
+/// assert_eq!(invert_window(tau, 0.1, 5, 1024)?.window, 76);
+/// # Ok::<(), macgame_dcf::DcfError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`DcfError::InvalidParameter`] if `tau_hat` is not in `(0, 1]`,
+/// `p_hat` not in `[0, 1)`, or `w_max == 0`.
+pub fn invert_window(
+    tau_hat: f64,
+    p_hat: f64,
+    max_backoff_stage: u32,
+    w_max: u32,
+) -> Result<WindowEstimate, DcfError> {
+    if !(tau_hat > 0.0 && tau_hat <= 1.0) {
+        return Err(DcfError::invalid("tau_hat", "attempt rate must be in (0, 1]"));
+    }
+    if !(0.0..1.0).contains(&p_hat) {
+        return Err(DcfError::invalid("p_hat", "collision probability must be in [0, 1)"));
+    }
+    if w_max == 0 {
+        return Err(DcfError::invalid("w_max", "window space must be non-empty"));
+    }
+    let tau_of = |w: u32| transmission_probability(w, p_hat, max_backoff_stage);
+    // τ(W) strictly decreases in W: binary search the crossing.
+    if tau_of(1)? <= tau_hat {
+        return Ok(WindowEstimate { window: 1, tau_hat, p_hat });
+    }
+    if tau_of(w_max)? >= tau_hat {
+        return Ok(WindowEstimate { window: w_max, tau_hat, p_hat });
+    }
+    let (mut lo, mut hi) = (1u32, w_max); // τ(lo) > tau_hat > τ(hi)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if tau_of(mid)? > tau_hat {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let (tl, th) = (tau_of(lo)?, tau_of(hi)?);
+    let window = if (tl - tau_hat).abs() <= (th - tau_hat).abs() { lo } else { hi };
+    Ok(WindowEstimate { window, tau_hat, p_hat })
+}
+
+/// Estimates every peer's window from a stage report, as seen by
+/// `observer`: for each peer `j`, `τ̂_j` comes from its attempt count and
+/// `p̂_j` from the other nodes' measured attempt rates
+/// (`p̂_j = 1 − Π_{k≠j}(1 − τ̂_k)` — the promiscuous observer sees the same
+/// channel the peer does).
+///
+/// Returns one estimate per node; the observer's own entry is its true
+/// window (it knows its own configuration).
+///
+/// # Errors
+///
+/// Returns [`DcfError::InvalidParameter`] if the report contains a node
+/// with zero observed attempts (no information to invert) — callers should
+/// measure over enough slots.
+pub fn estimate_windows(
+    observer: usize,
+    report: &StageReport,
+    max_backoff_stage: u32,
+    w_max: u32,
+) -> Result<Vec<WindowEstimate>, DcfError> {
+    let n = report.node_count();
+    if observer >= n {
+        return Err(DcfError::invalid("observer", "index out of range"));
+    }
+    let taus: Vec<f64> = (0..n).map(|i| report.tau_hat(i)).collect();
+    let mut out = Vec::with_capacity(n);
+    for j in 0..n {
+        if j == observer {
+            out.push(WindowEstimate {
+                window: report.windows[j],
+                tau_hat: taus[j],
+                p_hat: report.p_hat(j),
+            });
+            continue;
+        }
+        if report.node_stats[j].attempts == 0 {
+            return Err(DcfError::invalid(
+                "report",
+                format!("node {j} made no attempts in the observation window"),
+            ));
+        }
+        let p_hat: f64 = 1.0
+            - taus
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != j)
+                .map(|(_, &t)| 1.0 - t)
+                .product::<f64>();
+        out.push(invert_window(taus[j], p_hat.clamp(0.0, 1.0 - 1e-9), max_backoff_stage, w_max)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::Engine;
+    use macgame_dcf::fixedpoint::solve_symmetric;
+    use macgame_dcf::DcfParams;
+
+    #[test]
+    fn inversion_round_trips_exact_tau() {
+        let p = DcfParams::default();
+        for &w in &[4u32, 16, 76, 300, 1000] {
+            let sym = solve_symmetric(5, w, &p).unwrap();
+            let est =
+                invert_window(sym.tau, sym.collision_prob, p.max_backoff_stage(), 4096).unwrap();
+            assert_eq!(est.window, w, "failed to invert W = {w}");
+        }
+    }
+
+    #[test]
+    fn inversion_clamps_at_bounds() {
+        let est = invert_window(0.9999, 0.0, 5, 1024).unwrap();
+        assert_eq!(est.window, 1);
+        let est = invert_window(1e-7, 0.0, 5, 1024).unwrap();
+        assert_eq!(est.window, 1024);
+    }
+
+    #[test]
+    fn inversion_rejects_bad_inputs() {
+        assert!(invert_window(0.0, 0.1, 5, 64).is_err());
+        assert!(invert_window(0.5, 1.0, 5, 64).is_err());
+        assert!(invert_window(0.5, 0.1, 5, 0).is_err());
+    }
+
+    #[test]
+    fn estimates_recover_simulated_windows() {
+        // Observe a heterogeneous network long enough and the estimated
+        // windows should land close to the configured ones.
+        let windows = vec![32u32, 128, 64, 32, 256];
+        let config = SimConfig::builder().windows(windows.clone()).seed(21).build().unwrap();
+        let mut engine = Engine::new(&config);
+        let report = engine.run_slots(400_000);
+        let estimates =
+            estimate_windows(0, &report, config.params().max_backoff_stage(), 2048).unwrap();
+        assert_eq!(estimates[0].window, 32); // own window is exact
+        for (j, est) in estimates.iter().enumerate().skip(1) {
+            let rel = (f64::from(est.window) - f64::from(windows[j])).abs() / f64::from(windows[j]);
+            assert!(
+                rel < 0.2,
+                "node {j}: estimated {} for true {} ({:.0}% off)",
+                est.window,
+                windows[j],
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn estimation_needs_observations() {
+        let config = SimConfig::builder().windows(vec![8, 8]).seed(3).build().unwrap();
+        let mut engine = Engine::new(&config);
+        let report = engine.run_slots(0);
+        assert!(estimate_windows(0, &report, 5, 64).is_err());
+    }
+
+    #[test]
+    fn observer_index_validated() {
+        let config = SimConfig::builder().windows(vec![8, 8]).seed(3).build().unwrap();
+        let mut engine = Engine::new(&config);
+        let report = engine.run_slots(1000);
+        assert!(estimate_windows(5, &report, 5, 64).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Measurement reports produced by the simulation engine.
+
+use macgame_dcf::{DcfParams, MicroSecs, UtilityParams};
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeStats;
+
+/// Channel-level slot counts for a simulated interval.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelCounts {
+    /// Slots with no transmission.
+    pub idle: u64,
+    /// Slots carrying exactly one transmission.
+    pub success: u64,
+    /// Slots carrying two or more transmissions.
+    pub collision: u64,
+}
+
+impl ChannelCounts {
+    /// Total slots observed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.idle + self.success + self.collision
+    }
+}
+
+/// Measurements for one simulated interval (a game stage, typically).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Per-node statistics for the interval.
+    pub node_stats: Vec<NodeStats>,
+    /// Channel slot counts for the interval.
+    pub channel: ChannelCounts,
+    /// Channel time elapsed in the interval.
+    pub elapsed: MicroSecs,
+    /// Window profile in force during the interval.
+    pub windows: Vec<u32>,
+}
+
+impl StageReport {
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_stats.len()
+    }
+
+    /// Node `i`'s empirical transmission probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn tau_hat(&self, node: usize) -> f64 {
+        self.node_stats[node].tau_hat(self.channel.total())
+    }
+
+    /// Node `i`'s empirical conditional collision probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn p_hat(&self, node: usize) -> f64 {
+        self.node_stats[node].p_hat()
+    }
+
+    /// Node `i`'s measured payoff rate `(n_s·g − n_e·e) / elapsed` — exactly
+    /// the `U_l = (n_s·g − n_e·e)/t_m` measurement of the paper's search
+    /// algorithm (Section V.C), per microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or the interval is empty.
+    #[must_use]
+    pub fn payoff_rate(&self, node: usize, utility: &UtilityParams) -> f64 {
+        assert!(self.elapsed.value() > 0.0, "empty interval has no payoff rate");
+        let s = &self.node_stats[node];
+        (s.successes as f64 * utility.gain - s.attempts as f64 * utility.cost)
+            / self.elapsed.value()
+    }
+
+    /// Sum of all nodes' payoff rates (the measured social welfare).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty.
+    #[must_use]
+    pub fn global_payoff_rate(&self, utility: &UtilityParams) -> f64 {
+        (0..self.node_count()).map(|i| self.payoff_rate(i, utility)).sum()
+    }
+
+    /// Measured normalized throughput: fraction of channel time spent on
+    /// successful payload bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty.
+    #[must_use]
+    pub fn throughput(&self, params: &DcfParams) -> f64 {
+        assert!(self.elapsed.value() > 0.0, "empty interval has no throughput");
+        let success: u64 = self.node_stats.iter().map(|s| s.successes).sum();
+        success as f64 * params.payload_time().value() / self.elapsed.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> StageReport {
+        StageReport {
+            node_stats: vec![
+                NodeStats { attempts: 10, successes: 8, collisions: 2 },
+                NodeStats { attempts: 20, successes: 15, collisions: 5 },
+            ],
+            channel: ChannelCounts { idle: 70, success: 23, collision: 7 },
+            elapsed: MicroSecs::new(1_000_000.0),
+            windows: vec![64, 32],
+        }
+    }
+
+    #[test]
+    fn channel_total() {
+        assert_eq!(report().channel.total(), 100);
+    }
+
+    #[test]
+    fn estimators() {
+        let r = report();
+        assert!((r.tau_hat(0) - 0.1).abs() < 1e-12);
+        assert!((r.p_hat(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payoff_rate_matches_formula() {
+        let r = report();
+        let u = UtilityParams { gain: 1.0, cost: 0.01 };
+        // (8·1 − 10·0.01) / 1e6 = 7.9e-6.
+        assert!((r.payoff_rate(0, &u) - 7.9e-6).abs() < 1e-18);
+        let global = r.global_payoff_rate(&u);
+        assert!((global - (7.9e-6 + (15.0 - 0.2) / 1e6)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn throughput_counts_payload_airtime() {
+        let r = report();
+        let p = DcfParams::default();
+        // 23 successes · 8184 µs payload / 1e6 µs.
+        assert!((r.throughput(&p) - 23.0 * 8184.0 / 1e6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! Bounded slot-event tracing.
+//!
+//! A [`Trace`] is a fixed-capacity ring buffer of per-slot events that an
+//! engine driver can feed from [`crate::Engine::step`]'s outcomes. It
+//! keeps the most recent `capacity` events, serializes to JSON via serde,
+//! and renders a compact timeline for debugging ("what was the channel
+//! doing right before the payoff dropped?").
+
+use macgame_dcf::MicroSecs;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::SlotOutcome;
+
+/// One traced slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Slot index (engine-global).
+    pub slot: u64,
+    /// Channel time at the *start* of the slot.
+    pub at: MicroSecs,
+    /// What happened.
+    pub outcome: SlotOutcome,
+}
+
+/// A fixed-capacity ring buffer of [`TraceEvent`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    /// Index of the logically-first event inside `events`.
+    head: usize,
+    /// Total events ever recorded (including evicted ones).
+    recorded: u64,
+}
+
+impl Trace {
+    /// Creates a trace keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace { capacity, events: Vec::with_capacity(capacity), head: 0, recorded: 0 }
+    }
+
+    /// Capacity of the ring.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever recorded (≥ [`Self::len`]).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Records one event, evicting the oldest when full.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.recorded += 1;
+    }
+
+    /// Retained events, oldest first.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+
+    /// Compact one-character-per-slot timeline of the retained window:
+    /// `.` idle, digit = successful transmitter (mod 10), `X` collision.
+    #[must_use]
+    pub fn timeline(&self) -> String {
+        self.to_vec()
+            .iter()
+            .map(|e| match e.outcome {
+                SlotOutcome::Idle => '.',
+                SlotOutcome::Success { node } => {
+                    char::from_digit((node % 10) as u32, 10).expect("mod 10 digit")
+                }
+                SlotOutcome::Collision { .. } => 'X',
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(slot: u64, outcome: SlotOutcome) -> TraceEvent {
+        TraceEvent { slot, at: MicroSecs::new(slot as f64 * 50.0), outcome }
+    }
+
+    #[test]
+    fn keeps_most_recent_events() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.record(ev(i, SlotOutcome::Idle));
+        }
+        let slots: Vec<u64> = t.to_vec().iter().map(|e| e.slot).collect();
+        assert_eq!(slots, vec![2, 3, 4]);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn timeline_rendering() {
+        let mut t = Trace::new(8);
+        t.record(ev(0, SlotOutcome::Idle));
+        t.record(ev(1, SlotOutcome::Success { node: 3 }));
+        t.record(ev(2, SlotOutcome::Collision { transmitters: 2 }));
+        t.record(ev(3, SlotOutcome::Success { node: 12 }));
+        assert_eq!(t.timeline(), ".3X2");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = Trace::new(4);
+        for i in 0..6 {
+            t.record(ev(i, SlotOutcome::Success { node: i as usize }));
+        }
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn integrates_with_engine() {
+        use crate::{Engine, SimConfig};
+        let config = SimConfig::builder().symmetric(3, 8).seed(9).build().unwrap();
+        let mut engine = Engine::new(&config);
+        let mut trace = Trace::new(64);
+        for _ in 0..200 {
+            let at = engine.clock();
+            let slot = engine.total_slots();
+            let outcome = engine.step();
+            trace.record(TraceEvent { slot, at, outcome });
+        }
+        assert_eq!(trace.len(), 64);
+        assert_eq!(trace.recorded(), 200);
+        let line = trace.timeline();
+        assert_eq!(line.chars().count(), 64);
+        // A busy 3-node cell at W = 8 must show some successes.
+        assert!(line.chars().any(|c| c.is_ascii_digit()), "timeline {line}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Trace::new(0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Side-by-side validation of the analytical model against the simulator
+//! — the Section VII.A methodology packaged as a library call.
+//!
+//! [`validate_fixed_point`] runs the slot engine on a window profile and
+//! compares every node's measured `τ̂`, `p̂` (and the network throughput)
+//! to the fixed-point predictions of `macgame_dcf`.
+
+use macgame_dcf::fixedpoint::{solve, SolveOptions};
+use macgame_dcf::throughput::normalized_throughput;
+use macgame_dcf::{DcfParams, UtilityParams};
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::SimError;
+
+/// Per-node prediction-vs-measurement comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationRow {
+    /// Node index.
+    pub node: usize,
+    /// Configured contention window.
+    pub window: u32,
+    /// Predicted transmission probability.
+    pub tau_predicted: f64,
+    /// Measured transmission probability.
+    pub tau_measured: f64,
+    /// Predicted conditional collision probability.
+    pub p_predicted: f64,
+    /// Measured conditional collision probability.
+    pub p_measured: f64,
+}
+
+impl ValidationRow {
+    /// Relative error of the measured `τ̂`.
+    #[must_use]
+    pub fn tau_relative_error(&self) -> f64 {
+        (self.tau_measured - self.tau_predicted).abs() / self.tau_predicted
+    }
+
+    /// Relative error of the measured `p̂`.
+    #[must_use]
+    pub fn p_relative_error(&self) -> f64 {
+        if self.p_predicted == 0.0 {
+            self.p_measured
+        } else {
+            (self.p_measured - self.p_predicted).abs() / self.p_predicted
+        }
+    }
+}
+
+/// Full validation report for one profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// One comparison per node.
+    pub rows: Vec<ValidationRow>,
+    /// Predicted normalized throughput.
+    pub throughput_predicted: f64,
+    /// Measured normalized throughput.
+    pub throughput_measured: f64,
+    /// Slots simulated.
+    pub slots: u64,
+}
+
+impl ValidationReport {
+    /// Worst per-node relative `τ` error.
+    #[must_use]
+    pub fn max_tau_error(&self) -> f64 {
+        self.rows.iter().map(ValidationRow::tau_relative_error).fold(0.0, f64::max)
+    }
+
+    /// Worst per-node relative `p` error.
+    #[must_use]
+    pub fn max_p_error(&self) -> f64 {
+        self.rows.iter().map(ValidationRow::p_relative_error).fold(0.0, f64::max)
+    }
+
+    /// Relative throughput error.
+    #[must_use]
+    pub fn throughput_relative_error(&self) -> f64 {
+        (self.throughput_measured - self.throughput_predicted).abs()
+            / self.throughput_predicted
+    }
+}
+
+/// Simulates `slots` slots on `windows` and compares against the
+/// analytical fixed point.
+///
+/// # Examples
+///
+/// ```
+/// use macgame_dcf::DcfParams;
+/// use macgame_sim::validate_fixed_point;
+///
+/// let report = validate_fixed_point(&[76; 5], &DcfParams::default(), 100_000, 1)?;
+/// assert!(report.max_tau_error() < 0.1);
+/// # Ok::<(), macgame_sim::SimError>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates configuration and solver failures.
+pub fn validate_fixed_point(
+    windows: &[u32],
+    params: &DcfParams,
+    slots: u64,
+    seed: u64,
+) -> Result<ValidationReport, SimError> {
+    let eq = solve(windows, params, SolveOptions::default())?;
+    let config = SimConfig::builder()
+        .params(*params)
+        .utility(UtilityParams::default())
+        .windows(windows.to_vec())
+        .seed(seed)
+        .build()?;
+    let mut engine = Engine::new(&config);
+    let report = engine.run_slots(slots);
+    let rows = (0..windows.len())
+        .map(|i| ValidationRow {
+            node: i,
+            window: windows[i],
+            tau_predicted: eq.taus[i],
+            tau_measured: report.tau_hat(i),
+            p_predicted: eq.collision_probs[i],
+            p_measured: report.p_hat(i),
+        })
+        .collect();
+    Ok(ValidationReport {
+        rows,
+        throughput_predicted: normalized_throughput(&eq.taus, params),
+        throughput_measured: report.throughput(params),
+        slots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macgame_dcf::AccessMode;
+
+    #[test]
+    fn symmetric_profile_validates_tightly() {
+        let report =
+            validate_fixed_point(&[76; 5], &DcfParams::default(), 400_000, 11).unwrap();
+        assert!(report.max_tau_error() < 0.05, "τ error {}", report.max_tau_error());
+        assert!(report.max_p_error() < 0.10, "p error {}", report.max_p_error());
+        assert!(
+            report.throughput_relative_error() < 0.03,
+            "S error {}",
+            report.throughput_relative_error()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_profile_validates() {
+        let windows = [16u32, 48, 96, 192];
+        let report =
+            validate_fixed_point(&windows, &DcfParams::default(), 400_000, 5).unwrap();
+        assert!(report.max_tau_error() < 0.08, "τ error {}", report.max_tau_error());
+        for row in &report.rows {
+            assert_eq!(row.window, windows[row.node]);
+        }
+    }
+
+    #[test]
+    fn rtscts_profile_validates() {
+        let params = DcfParams::builder().access_mode(AccessMode::RtsCts).build().unwrap();
+        let report = validate_fixed_point(&[48; 8], &params, 400_000, 7).unwrap();
+        assert!(report.max_tau_error() < 0.05, "τ error {}", report.max_tau_error());
+        assert!(report.throughput_predicted > 0.5);
+    }
+
+    #[test]
+    fn rejects_bad_profiles() {
+        assert!(validate_fixed_point(&[], &DcfParams::default(), 100, 0).is_err());
+        assert!(validate_fixed_point(&[0, 4], &DcfParams::default(), 100, 0).is_err());
+    }
+}

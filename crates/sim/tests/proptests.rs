@@ -1,0 +1,140 @@
+//! Property-based tests of the slot simulator's conservation laws.
+
+use macgame_dcf::{AccessMode, DcfParams};
+use macgame_sim::{invert_window, Engine, SimConfig, TrafficModel};
+use proptest::prelude::*;
+
+fn any_mode() -> impl Strategy<Value = AccessMode> {
+    prop_oneof![Just(AccessMode::Basic), Just(AccessMode::RtsCts)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conservation_laws_hold(
+        windows in prop::collection::vec(1u32..512, 1..8),
+        seed in 0u64..1000,
+        mode in any_mode(),
+    ) {
+        let params = DcfParams::builder().access_mode(mode).build().unwrap();
+        let config = SimConfig::builder()
+            .params(params)
+            .windows(windows.clone())
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut engine = Engine::new(&config);
+        let report = engine.run_slots(5_000);
+
+        // Slots partition into idle/success/collision.
+        prop_assert_eq!(report.channel.total(), 5_000);
+        // Channel successes equal node successes; attempts partition.
+        let successes: u64 = report.node_stats.iter().map(|s| s.successes).sum();
+        let collisions: u64 = report.node_stats.iter().map(|s| s.collisions).sum();
+        let attempts: u64 = report.node_stats.iter().map(|s| s.attempts).sum();
+        prop_assert_eq!(successes, report.channel.success);
+        prop_assert_eq!(attempts, successes + collisions);
+        // Collision slots involve at least two transmitters.
+        prop_assert!(collisions >= 2 * report.channel.collision);
+        // Elapsed time equals the outcome-weighted slot mix.
+        let t = params.timings();
+        let expect = report.channel.idle as f64 * params.sigma().value()
+            + report.channel.success as f64 * t.success_time.value()
+            + report.channel.collision as f64 * t.collision_time.value();
+        prop_assert!((report.elapsed.value() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn determinism_per_seed(
+        windows in prop::collection::vec(1u32..256, 1..6),
+        seed in 0u64..100,
+    ) {
+        let config = SimConfig::builder().windows(windows).seed(seed).build().unwrap();
+        let a = Engine::new(&config).run_slots(2_000);
+        let b = Engine::new(&config).run_slots(2_000);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tau_hat_in_unit_interval(
+        windows in prop::collection::vec(1u32..512, 1..6),
+        seed in 0u64..50,
+    ) {
+        let config = SimConfig::builder().windows(windows.clone()).seed(seed).build().unwrap();
+        let mut engine = Engine::new(&config);
+        let report = engine.run_slots(3_000);
+        for i in 0..windows.len() {
+            let tau = report.tau_hat(i);
+            prop_assert!((0.0..=1.0).contains(&tau));
+            let p = report.p_hat(i);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn window_inversion_round_trips(
+        w in 1u32..2000,
+        p in 0.0f64..0.9,
+        m in 1u32..7,
+    ) {
+        // Inverting the exact τ(W, p) recovers W exactly (τ is strictly
+        // monotone in W).
+        let tau = macgame_dcf::markov::transmission_probability(w, p, m).unwrap();
+        let est = invert_window(tau, p, m, 4096).unwrap();
+        prop_assert_eq!(est.window, w);
+    }
+
+    #[test]
+    fn single_node_is_collision_free(w in 1u32..256, seed in 0u64..50) {
+        let config = SimConfig::builder().windows(vec![w]).seed(seed).build().unwrap();
+        let mut engine = Engine::new(&config);
+        let report = engine.run_slots(2_000);
+        prop_assert_eq!(report.node_stats[0].collisions, 0);
+        prop_assert_eq!(report.channel.collision, 0);
+    }
+
+    #[test]
+    fn poisson_conservation_holds(
+        n in 1usize..6,
+        w in 4u32..128,
+        rate in 0.5f64..200.0,
+        seed in 0u64..100,
+    ) {
+        let config = SimConfig::builder()
+            .symmetric(n, w)
+            .traffic(TrafficModel::Poisson { packets_per_second: rate })
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut engine = Engine::new(&config);
+        let report = engine.run_slots(20_000);
+        let delivered: u64 = report.node_stats.iter().map(|s| s.successes).sum();
+        let offered: u64 = (0..n).map(|i| engine.total_arrivals(i)).sum();
+        let backlog: u64 = (0..n).map(|i| engine.queue_len(i)).sum();
+        prop_assert_eq!(offered, delivered + backlog);
+        // Attempts still partition.
+        for s in &report.node_stats {
+            prop_assert_eq!(s.attempts, s.successes + s.collisions);
+        }
+    }
+
+    #[test]
+    fn poisson_delivery_never_exceeds_offered(
+        w in 4u32..64,
+        rate in 1.0f64..50.0,
+        seed in 0u64..50,
+    ) {
+        let config = SimConfig::builder()
+            .symmetric(3, w)
+            .traffic(TrafficModel::Poisson { packets_per_second: rate })
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut engine = Engine::new(&config);
+        let report = engine.run_slots(10_000);
+        let delivered: u64 = report.node_stats.iter().map(|s| s.successes).sum();
+        let offered: u64 = (0..3).map(|i| engine.total_arrivals(i)).sum();
+        prop_assert!(delivered <= offered);
+    }
+}

@@ -1,0 +1,96 @@
+//! Extensions beyond the paper's evaluation: delay-aware equilibria, the
+//! selfish rate-control game, and a strategy tournament.
+//!
+//! The paper's Discussion concedes its utility ignores delay, and its
+//! Conclusion claims the framework generalizes to other selfish knobs such
+//! as rate control. This example exercises both extensions, then pits the
+//! strategy roster against itself Axelrod-style.
+//!
+//! Run with: `cargo run --release --example beyond_the_paper`
+
+use macgame::dcf::delay::{delay_aware_symmetric_utility, efficient_cw_delay_aware};
+use macgame::dcf::{AccessMode, DcfParams, UtilityParams};
+use macgame::game::equilibrium::efficient_ne;
+use macgame::game::ratecontrol::{performance_anomaly, rate_game, rate_set_80211b};
+use macgame::game::population::{replicator, PopulationState};
+use macgame::game::strategy::{BestResponse, Constant, GenerousTft, Tft};
+use macgame::game::tournament::{round_robin, Entrant};
+use macgame::game::GameConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── 1. Delay-aware equilibria ───────────────────────────────────────
+    let rtscts = DcfParams::builder().access_mode(AccessMode::RtsCts).build()?;
+    let utility = UtilityParams::default();
+    println!("delay-aware efficient NE, n = 5, RTS/CTS:");
+    println!("{:>10} {:>8} {:>12} {:>14}", "λ", "W*(λ)", "delay (ms)", "utility /µs");
+    for lambda in [0.0, 1e-10, 1e-9, 3e-9] {
+        let point = efficient_cw_delay_aware(5, &rtscts, &utility, lambda, 512)?;
+        println!(
+            "{:>10.0e} {:>8} {:>12.2} {:>14.3e}",
+            lambda,
+            point.window,
+            point.delay.value() / 1000.0,
+            point.utility
+        );
+    }
+    let at_star = delay_aware_symmetric_utility(5, 16, &rtscts, &utility, 0.0)?;
+    let aggressive = delay_aware_symmetric_utility(5, 4, &rtscts, &utility, 0.0)?;
+    println!(
+        "note: saturation pins delay near n·T_s — W = 16 gives {:.1} ms, W = 4 gives {:.1} ms.\n\
+         Under saturation the throughput–delay product is nearly conserved;\n\
+         window tuning mostly trades collision waste, not queueing.\n",
+        at_star.delay.value() / 1000.0,
+        aggressive.delay.value() / 1000.0
+    );
+
+    // ── 2. The rate-control game ────────────────────────────────────────
+    println!("selfish PHY-rate game (common CW = 48, RTS/CTS, 802.11b rates):");
+    let game = rate_game(5, 48, &rtscts, &utility, rate_set_80211b())?;
+    let out = game.best_response_dynamics(&[0; 5], 10);
+    let rates: Vec<_> = out.profile.iter().map(|&a| game.actions()[a]).collect();
+    println!("  best-response dynamics from all-1-Mbit/s: {rates:?} (converged: {})", out.converged);
+    let nes = game.enumerate_pure_nash();
+    println!("  pure Nash equilibria: {} (all-fast only: {})", nes.len(), nes.len() == 1);
+    for n in [3usize, 10, 20] {
+        let report = performance_anomaly(n, 48, &rtscts, &utility, rate_set_80211b())?;
+        println!(
+            "  performance anomaly, n = {n:>2}: one 1 Mbit/s node costs everyone {:.0}% of utility",
+            100.0 * report.damage()
+        );
+    }
+    println!("→ here selfishness is perfectly aligned: all-fast is dominant AND socially optimal.\n");
+
+    // ── 3. The tournament ───────────────────────────────────────────────
+    let template = GameConfig::builder(2).discount(0.999).build()?;
+    let two = GameConfig::builder(2).build()?;
+    let w_star = efficient_ne(&two)?.window;
+    let field: Vec<Entrant> = vec![
+        Entrant::new("tft", move || Box::new(Tft::new(w_star))),
+        Entrant::new("generous-tft", move || Box::new(GenerousTft::new(w_star, 2, 0.9))),
+        Entrant::new("aggressor", move || Box::new(Constant::new((w_star / 8).max(1)))),
+        Entrant::new("best-response", move || Box::new(BestResponse::new(w_star))),
+    ];
+    let result = round_robin(&field, &template, 25)?;
+    println!("round-robin tournament (2-player repeated MAC games, 25 stages):");
+    for (rank, (name, total)) in result.ranking().into_iter().enumerate() {
+        println!("  {}. {name:<14} total discounted payoff {total:>10.0}", rank + 1);
+    }
+    println!(
+        "→ unlike the Prisoner's Dilemma, the MAC game's payoff curve is smooth, so a\n\
+         myopic best responder that stays one step ahead of TFT's reaction can top the\n\
+         table — while the blunt aggressor still finishes last.\n"
+    );
+
+    // ── 4. …but evolution tells a different story ───────────────────────
+    let trace = replicator(&result, &PopulationState::uniform(4), 500)?;
+    println!("replicator population dynamics over the same payoff matrix (500 generations):");
+    for (name, share) in trace.names.iter().zip(&trace.final_state().shares) {
+        println!("  {name:<14} final share {:>5.1}%", 100.0 * share);
+    }
+    println!(
+        "→ the exploiters' edge depends on prey: once reciprocators dominate the mix,\n\
+         best-response and the aggressor go extinct and TFT/GTFT inherit the network —\n\
+         the evolutionary justification for the paper's TFT premise."
+    );
+    Ok(())
+}

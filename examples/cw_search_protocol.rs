@@ -1,0 +1,92 @@
+//! The distributed equilibrium-search protocol (paper Section V.C).
+//!
+//! When nobody knows how many stations share the channel, `W_c*` cannot be
+//! computed — it must be *found*. A leader walks the common window up (or
+//! down) one step at a time, broadcasting `Ready` so everyone follows, and
+//! measures its own payoff `(n_s·g − n_e·e)/t_m` after each move. This
+//! example runs the protocol twice — against exact model payoffs and
+//! against noisy packet-level measurements — and then prices the "lying
+//! leader" scenarios from the paper's Remark.
+//!
+//! Run with: `cargo run --release --example cw_search_protocol`
+
+use macgame::dcf::MicroSecs;
+use macgame::game::equilibrium::efficient_ne;
+use macgame::game::protocol::{run_protocol, BroadcastBus, SearchActor};
+use macgame::game::search::{
+    lying_broadcast, run_search, AnalyticProbe, SearchMessage, SimulatedProbe,
+};
+use macgame::game::GameConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let game = GameConfig::builder(6).build()?;
+    let w_star = efficient_ne(&game)?.window;
+    println!("6 stations; ground-truth efficient NE W_c* = {w_star}\n");
+
+    // ── Exact payoffs ───────────────────────────────────────────────────
+    let mut probe = AnalyticProbe::new(game.clone());
+    let outcome = run_search(&mut probe, &game, w_star.saturating_sub(15).max(1), 0.0)?;
+    println!("analytic probe, starting 15 below W_c*:");
+    println!("  found W_m = {} after {} measurements ({:?} walk)",
+        outcome.w_m, outcome.trace.len(), outcome.direction);
+    let shown = outcome.messages.len().min(5);
+    for m in &outcome.messages[..shown] {
+        match m {
+            SearchMessage::StartSearch { w0 } => println!("    → Start-Search(W₀ = {w0})"),
+            SearchMessage::Ready { w } => println!("    → Ready(W = {w})"),
+            SearchMessage::Broadcast { w_m } => println!("    → Broadcast(W_m = {w_m})"),
+        }
+    }
+    println!("    … {} more messages, ending with Broadcast(W_m = {})\n",
+        outcome.messages.len() - shown, outcome.w_m);
+
+    // ── Noisy measured payoffs ──────────────────────────────────────────
+    // The paper's t_m: measure each window long enough that sampling noise
+    // does not flip the hill-climb; a small relative improvement margin
+    // absorbs what noise remains.
+    let mut probe = SimulatedProbe::new(game.clone(), 99, MicroSecs::from_seconds(20.0))?;
+    let outcome = run_search(&mut probe, &game, w_star.saturating_sub(10).max(1), 0.002)?;
+    println!("simulated probe (t_m = 20 s, 0.2% improvement margin):");
+    println!("  found W_m = {} (true optimum {w_star}) after {} measurements",
+        outcome.w_m, outcome.trace.len());
+    let err = (f64::from(outcome.w_m) - f64::from(w_star)).abs() / f64::from(w_star);
+    println!("  relative error {:.1}% — the payoff curve is flat near W_c*, so any
+  window in this neighborhood loses almost nothing (paper Fig. 2–3).\n", 100.0 * err);
+
+    // ── The same protocol over a lossy broadcast channel ────────────────
+    println!("distributed actors over a 20%-lossy broadcast bus:");
+    let mut probe = AnalyticProbe::new(game.clone());
+    let mut actors: Vec<SearchActor> = (0..6).map(|i| SearchActor::new(i, 64)).collect();
+    let mut bus = BroadcastBus::new(0.2, 7)?;
+    let outcome = run_protocol(&mut probe, &game, &mut actors, &mut bus, w_star - 20, 0.0)?;
+    println!(
+        "  leader committed W_m = {}; bus dropped {}/{} deliveries",
+        outcome.w_m, bus.dropped, bus.deliveries
+    );
+    for actor in &actors[1..] {
+        println!(
+            "  node {}: window {} (missed {} Readies{})",
+            actor.id(),
+            actor.window(),
+            actor.readies_missed,
+            if actor.committed() { ", heard final Broadcast" } else { ", MISSED final Broadcast" }
+        );
+    }
+    println!("→ the closing Broadcast heals mid-search losses; only nodes that miss it\n  stay desynchronized — and TFT would pull them in next stage anyway.\n");
+
+    // ── Why the leader reports honestly (the Remark) ───────────────────
+    println!("should the leader lie in the final Broadcast?");
+    let under = lying_broadcast(&game, w_star, w_star / 2, w_star / 2, 1)?;
+    println!(
+        "  broadcast W_m = {} (too low):  liar {:.1} vs honest {:.1}  → lying pays: {}",
+        w_star / 2, under.liar_payoff, under.honest_payoff, under.lying_pays()
+    );
+    let over = lying_broadcast(&game, w_star, w_star * 2, w_star, 1)?;
+    println!(
+        "  broadcast W_m = {} (too high): liar {:.1} vs honest {:.1}  → lying pays: {}",
+        w_star * 2, over.liar_payoff, over.honest_payoff, over.lying_pays()
+    );
+    println!("→ under-broadcasting hurts the liar itself; over-broadcasting gains only
+  a transient that discounting wipes out. Honesty is incentive-compatible.");
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! `macgame` — a reproduction of *"Selfishness, Not Always A Nightmare:
+//! Modeling Selfish MAC Behaviors in Wireless Mobile Ad Hoc Networks"*
+//! (Lin Chen & Jean Leneutre, ICDCS 2007) as a Rust workspace.
+//!
+//! This facade crate re-exports the four library crates:
+//!
+//! * [`dcf`] — analytical IEEE 802.11 DCF model with heterogeneous
+//!   contention windows (Bianchi-style Markov chain, fixed point,
+//!   throughput, utility, symmetric optimum);
+//! * [`sim`] — slot-level discrete-event simulator of saturated DCF
+//!   (basic and RTS/CTS), the measurement substrate standing in for NS-2;
+//! * [`game`] — the repeated non-cooperative MAC game: TFT/GTFT
+//!   strategies, Nash equilibria and refinement, the distributed
+//!   equilibrium-search protocol, short-sighted and malicious deviations;
+//! * [`multihop`] — mobility, topology, hidden terminals, local games and
+//!   network-wide TFT convergence (Theorem 3), with quasi-optimality
+//!   metrics.
+//!
+//! # The paper in one assertion
+//!
+//! ```
+//! use macgame::game::equilibrium::{check_symmetric_ne, efficient_ne, DEFAULT_NE_EPSILON};
+//! use macgame::game::GameConfig;
+//!
+//! // Five selfish, long-sighted, TFT-playing saturated nodes…
+//! let game = GameConfig::builder(5).build()?;
+//! let ne = efficient_ne(&game)?;
+//! // …self-organize onto a contention window that is simultaneously a
+//! // Nash equilibrium and the social optimum: selfishness, not a nightmare.
+//! assert!(check_symmetric_ne(&game, ne.window, 1, DEFAULT_NE_EPSILON)?.is_ne);
+//! # Ok::<(), macgame::game::GameError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use macgame_core as game;
+pub use macgame_dcf as dcf;
+pub use macgame_multihop as multihop;
+pub use macgame_sim as sim;
