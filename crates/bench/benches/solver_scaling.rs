@@ -1,0 +1,105 @@
+//! Benchmarks the fixed-point solver strategies behind the NE-interval
+//! scans (Table II workload, n = 10): plain damped cold solves (the
+//! original iteration), Anderson-accelerated cold solves, warm-chained
+//! sweeps, and the permutation-canonicalizing cache — cold and hot.
+//!
+//! The workload is the canonical deviation sweep: one deviator walks its
+//! window over `[1, W_c*]` against a compliant crowd at `W_c*`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use macgame_dcf::cache::SolveCache;
+use macgame_dcf::fixedpoint::{solve, SolveOptions};
+use macgame_dcf::optimal::efficient_cw;
+use macgame_dcf::parallel::{solve_sweep, solve_sweep_cached};
+use macgame_dcf::{DcfParams, UtilityParams};
+use std::hint::black_box;
+
+const N: usize = 10;
+
+fn deviation_profiles(params: &DcfParams) -> Vec<Vec<u32>> {
+    let w_star = efficient_cw(N, params, &UtilityParams::default(), 4096).unwrap().window;
+    (1..=w_star)
+        .map(|w_s| {
+            let mut p = vec![w_star; N];
+            p[0] = w_s;
+            p
+        })
+        .collect()
+}
+
+fn bench_cold_damped(c: &mut Criterion) {
+    let params = DcfParams::default();
+    let profiles = deviation_profiles(&params);
+    let options = SolveOptions { accelerate: false, ..SolveOptions::default() };
+    let mut group = c.benchmark_group("solver_scaling/cold_damped");
+    group.sample_size(10);
+    group.bench_function("n10_deviation_sweep", |b| {
+        b.iter(|| {
+            for p in &profiles {
+                black_box(solve(black_box(p), &params, options).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_cold_accelerated(c: &mut Criterion) {
+    let params = DcfParams::default();
+    let profiles = deviation_profiles(&params);
+    let options = SolveOptions::default();
+    let mut group = c.benchmark_group("solver_scaling/cold_accelerated");
+    group.sample_size(10);
+    group.bench_function("n10_deviation_sweep", |b| {
+        b.iter(|| {
+            for p in &profiles {
+                black_box(solve(black_box(p), &params, options).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_warm_chained(c: &mut Criterion) {
+    let params = DcfParams::default();
+    let profiles = deviation_profiles(&params);
+    let options = SolveOptions::default();
+    let mut group = c.benchmark_group("solver_scaling/warm_chained");
+    group.sample_size(10);
+    group.bench_function("n10_deviation_sweep", |b| {
+        b.iter(|| black_box(solve_sweep(black_box(&profiles), &params, options, 1).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_parallel_cached(c: &mut Criterion) {
+    let params = DcfParams::default();
+    let profiles = deviation_profiles(&params);
+    let options = SolveOptions::default();
+    let mut group = c.benchmark_group("solver_scaling/parallel_cached");
+    group.sample_size(10);
+    // Cold cache: every lookup is a miss; measures the full solve + insert
+    // path with the auto thread count.
+    group.bench_function("n10_cold_cache", |b| {
+        b.iter(|| {
+            let cache = SolveCache::new(params, options);
+            black_box(solve_sweep_cached(black_box(&profiles), &cache, 0).unwrap())
+        });
+    });
+    // Hot cache: the scan revisits profiles already solved (as repeated
+    // scans, tournaments and payoff tables do); every lookup is a hit.
+    let hot = SolveCache::new(params, options);
+    solve_sweep_cached(&profiles, &hot, 0).unwrap();
+    group.bench_function("n10_hot_cache", |b| {
+        b.iter(|| black_box(solve_sweep_cached(black_box(&profiles), &hot, 0).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cold_damped,
+    bench_cold_accelerated,
+    bench_warm_chained,
+    bench_parallel_cached
+);
+criterion_main!(benches);

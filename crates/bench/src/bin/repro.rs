@@ -31,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "tournament",
     "validate",
     "myopia",
+    "bench-solver",
 ];
 
 fn main() {
@@ -72,6 +73,7 @@ fn main() {
             "tournament" => tournament(),
             "validate" => validate(quick),
             "myopia" => myopia(),
+            "bench-solver" => bench_solver(),
             _ => unreachable!(),
         };
         if let Err(e) = result {
@@ -464,6 +466,141 @@ fn validate(quick: bool) -> Result<(), BenchError> {
         )
     );
     let path = write_artifact("validate", &rows_out)?;
+    println!("artifact: {}", path.display());
+    Ok(())
+}
+
+/// Machine-readable solver benchmark: the Table II NE-interval scan at
+/// n = 10, timed as the original serial cold damped iteration versus the
+/// parallel + warm-chained + accelerated scan, plus the canonicalizing
+/// cache on a revisit. Emits `artifacts/BENCH_solver.json`.
+fn bench_solver() -> Result<(), BenchError> {
+    use macgame_core::deviation::symmetric_stage;
+    use macgame_core::equilibrium::{ne_interval, scan_ne_interval, DEFAULT_NE_EPSILON};
+    use macgame_core::GameConfig;
+    use macgame_dcf::cache::SolveCache;
+    use macgame_dcf::fixedpoint::{solve, SolveOptions};
+    use macgame_dcf::parallel::{resolve_threads, solve_sweep_cached};
+    use macgame_dcf::utility::all_utilities;
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    #[derive(serde::Serialize)]
+    struct SolverBench {
+        n: usize,
+        scan_lo: u32,
+        scan_hi: u32,
+        threads: usize,
+        deviation_profiles: usize,
+        serial_cold_ms: f64,
+        serial_cold_sweeps: usize,
+        scan_ms: f64,
+        speedup: f64,
+        ne_count: usize,
+        hot_cache_ms: f64,
+        cache_hits: u64,
+        cache_entries: usize,
+    }
+
+    let n = 10usize;
+    let game = GameConfig::builder(n).build()?;
+    let interval = ne_interval(&game)?;
+    let (lo, hi) = (interval.lower, interval.upper);
+    let threads = resolve_threads(0);
+    println!("NE-interval scan, n = {n}, windows [{lo}, {hi}], {threads} worker(s)");
+
+    // Baseline: the per-window check exactly as the original code priced it
+    // — every deviation profile solved cold with the plain damped
+    // iteration, every symmetric stage re-bisected per (window, deviation)
+    // pair — serially.
+    let damped = SolveOptions { accelerate: false, ..SolveOptions::default() };
+    let mut serial_cold_sweeps = 0usize;
+    let mut deviation_profiles = 0usize;
+    let t0 = Instant::now();
+    for w in lo..=hi {
+        let at_w = symmetric_stage(&game, w)?;
+        if at_w < 0.0 {
+            continue;
+        }
+        for w_s in 1..w {
+            let mut profile = vec![w; n];
+            profile[0] = w_s;
+            let eq = solve(&profile, game.params(), damped)?;
+            serial_cold_sweeps += eq.iterations;
+            deviation_profiles += 1;
+            black_box(all_utilities(&eq.taus, &eq.collision_probs, game.params(), game.utility()));
+            black_box(symmetric_stage(&game, w_s)?);
+        }
+        for w_dev in [w + 1, w.saturating_mul(2), game.w_max()] {
+            if w_dev > w && w_dev <= game.w_max() {
+                let mut profile = vec![w; n];
+                profile[0] = w_dev;
+                let eq = solve(&profile, game.params(), damped)?;
+                serial_cold_sweeps += eq.iterations;
+                black_box(all_utilities(
+                    &eq.taus,
+                    &eq.collision_probs,
+                    game.params(),
+                    game.utility(),
+                ));
+            }
+        }
+    }
+    let serial_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Current path: memoized symmetric stages, warm-chained accelerated
+    // deviation sweeps, windows fanned over the worker pool.
+    let t1 = Instant::now();
+    let checks = scan_ne_interval(&game, lo, hi, 1, DEFAULT_NE_EPSILON, 0)?;
+    let scan_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let ne_count = checks.iter().filter(|c| c.is_ne).count();
+
+    // The cache on a revisit of the scan's heterogeneous profiles: repeated
+    // scans, tournaments and payoff tables hit this path.
+    let profiles: Vec<Vec<u32>> = (lo..=hi)
+        .flat_map(|w| {
+            (1..w).map(move |w_s| {
+                let mut p = vec![w; n];
+                p[0] = w_s;
+                p
+            })
+        })
+        .collect();
+    let cache = SolveCache::new(*game.params(), SolveOptions::default());
+    solve_sweep_cached(&profiles, &cache, 0)?;
+    let t2 = Instant::now();
+    solve_sweep_cached(&profiles, &cache, 0)?;
+    let hot_cache_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+    let speedup = serial_cold_ms / scan_ms;
+    let body = vec![
+        vec!["serial cold (damped, unmemoized)".into(), format!("{serial_cold_ms:.1}")],
+        vec!["parallel + warm + memoized scan".into(), format!("{scan_ms:.1}")],
+        vec!["hot-cache revisit of all profiles".into(), format!("{hot_cache_ms:.1}")],
+    ];
+    println!("{}", text_table(&["configuration", "wall ms"], &body));
+    println!(
+        "speedup {speedup:.1}×; {deviation_profiles} deviation profiles; \
+         {ne_count} NE confirmed; cache {} hits / {} entries",
+        cache.hits(),
+        cache.len()
+    );
+    let payload = SolverBench {
+        n,
+        scan_lo: lo,
+        scan_hi: hi,
+        threads,
+        deviation_profiles,
+        serial_cold_ms,
+        serial_cold_sweeps,
+        scan_ms,
+        speedup,
+        ne_count,
+        hot_cache_ms,
+        cache_hits: cache.hits(),
+        cache_entries: cache.len(),
+    };
+    let path = write_artifact("BENCH_solver", &payload)?;
     println!("artifact: {}", path.display());
     Ok(())
 }

@@ -15,6 +15,7 @@
 //! efficient NE.
 
 use macgame_dcf::fixedpoint::{solve, solve_symmetric, SolveOptions};
+use macgame_dcf::parallel::{resolve_threads, solve_sweep};
 use macgame_dcf::utility::{all_utilities, node_utility};
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +65,31 @@ pub fn symmetric_stage(game: &GameConfig, w: u32) -> Result<f64, GameError> {
     let taus = vec![sym.tau; n];
     let ps = vec![sym.collision_prob; n];
     Ok(node_utility(0, &taus, &ps, game.params(), game.utility()))
+}
+
+/// Stage utility rates for every window in `1..=hi`, indexed by window
+/// (slot 0 is `NaN`, never read). [`crate::equilibrium::scan_ne_interval`]
+/// threads this memo through its checks so each window's bisection runs
+/// once per scan instead of once per (window, deviation) pair — without
+/// it the symmetric stages dominate the scan's cost.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn symmetric_stage_table(
+    game: &GameConfig,
+    hi: u32,
+    threads: usize,
+) -> Result<Vec<f64>, GameError> {
+    let windows: Vec<u32> = (1..=hi).collect();
+    let stages: Vec<Result<f64, GameError>> =
+        rayon::map_in_order(windows, resolve_threads(threads), |w| symmetric_stage(game, w));
+    let mut table = Vec::with_capacity(hi as usize + 1);
+    table.push(f64::NAN);
+    for stage in stages {
+        table.push(stage?);
+    }
+    Ok(table)
 }
 
 /// Full accounting of a short-sighted deviation.
@@ -157,9 +183,110 @@ pub fn shortsighted_deviation(
     })
 }
 
+/// Evaluates every downward deviation `w_s ∈ [1, w_star]` in one batch,
+/// returning the outcomes in `w_s` order.
+///
+/// The heterogeneous one-deviator solves go through
+/// [`macgame_dcf::parallel::solve_sweep`]: profiles adjacent in the sweep
+/// differ only in the deviator's window, so each solve is warm-started
+/// from its neighbor's solution, and fixed-size chunks are fanned out over
+/// `threads` workers (`0` = auto from `MACGAME_THREADS`; results are
+/// bitwise-identical for every thread count). The symmetric "after" stages
+/// ride the guaranteed bisection path and are fanned out the same way.
+///
+/// # Errors
+///
+/// Same conditions as [`shortsighted_deviation`].
+pub fn deviation_sweep(
+    game: &GameConfig,
+    w_star: u32,
+    reaction_stages: u32,
+    delta_s: f64,
+    threads: usize,
+) -> Result<Vec<DeviationOutcome>, GameError> {
+    deviation_sweep_memo(game, w_star, reaction_stages, delta_s, threads, None)
+}
+
+/// [`deviation_sweep`] with an optional precomputed symmetric-stage memo
+/// (from [`symmetric_stage_table`], covering at least `1..=w_star`). The
+/// memo entries are the exact values `symmetric_stage` would return, so
+/// results are bitwise-identical with and without it.
+pub(crate) fn deviation_sweep_memo(
+    game: &GameConfig,
+    w_star: u32,
+    reaction_stages: u32,
+    delta_s: f64,
+    threads: usize,
+    memo: Option<&[f64]>,
+) -> Result<Vec<DeviationOutcome>, GameError> {
+    if reaction_stages == 0 {
+        return Err(GameError::InvalidConfig("TFT reaction takes at least one stage".into()));
+    }
+    if !(0.0..1.0).contains(&delta_s) {
+        return Err(GameError::InvalidConfig("deviator discount must be in [0, 1)".into()));
+    }
+    if w_star == 0 {
+        return Err(GameError::InvalidConfig("empty deviation space".into()));
+    }
+    let n = game.player_count();
+    if n < 2 {
+        return Err(GameError::InvalidConfig("deviation needs at least two players".into()));
+    }
+    let t = game.stage_duration().value();
+    let at_star = match memo {
+        Some(table) => table[w_star as usize],
+        None => symmetric_stage(game, w_star)?,
+    };
+    let m = reaction_stages as i32;
+    let head = (1.0 - delta_s.powi(m)) / (1.0 - delta_s);
+    let tail = delta_s.powi(m) / (1.0 - delta_s);
+    let compliant_payoff = t * at_star / (1.0 - delta_s);
+
+    // One deviator against the W* crowd, for every w_s: warm-chained.
+    let profiles: Vec<Vec<u32>> = (1..=w_star)
+        .map(|w_s| {
+            let mut p = vec![w_star; n];
+            p[0] = w_s;
+            p
+        })
+        .collect();
+    let eqs = solve_sweep(&profiles, game.params(), SolveOptions::default(), threads)?;
+
+    // Post-punishment stages: everyone at w_s (bisection, cheap) — served
+    // from the memo when the caller scans many crowd windows.
+    let afters: Vec<f64> = match memo {
+        Some(table) => (1..=w_star).map(|w_s| table[w_s as usize]).collect(),
+        None => {
+            let windows: Vec<u32> = (1..=w_star).collect();
+            rayon::map_in_order(windows, resolve_threads(threads), |w_s| {
+                symmetric_stage(game, w_s)
+            })
+            .into_iter()
+            .collect::<Result<Vec<f64>, GameError>>()?
+        }
+    };
+
+    let mut out = Vec::with_capacity(w_star as usize);
+    for ((w_s, eq), after) in (1..=w_star).zip(&eqs).zip(afters) {
+        let us = all_utilities(&eq.taus, &eq.collision_probs, game.params(), game.utility());
+        let during = DeviatorStage { deviator: us[0], compliant: us[1] };
+        out.push(DeviationOutcome {
+            w_s,
+            delta_s,
+            reaction_stages,
+            deviant_payoff: t * (head * during.deviator + tail * after),
+            compliant_payoff,
+            victim_payoff: t * (head * during.compliant + tail * after),
+        });
+    }
+    Ok(out)
+}
+
 /// The deviator's optimal window `W_s(δ_s)`: the `w_s ∈ [1, w_star]`
 /// maximizing [`shortsighted_deviation`]'s payoff. For `δ_s → 1` this is
 /// `w_star` itself (Section V.D's conclusion).
+///
+/// Runs as a [`deviation_sweep`] under the `MACGAME_THREADS` knob.
 ///
 /// # Errors
 ///
@@ -170,14 +297,10 @@ pub fn optimal_shortsighted_deviation(
     reaction_stages: u32,
     delta_s: f64,
 ) -> Result<DeviationOutcome, GameError> {
-    let mut best: Option<DeviationOutcome> = None;
-    for w_s in 1..=w_star {
-        let outcome = shortsighted_deviation(game, w_star, w_s, reaction_stages, delta_s)?;
-        if best.as_ref().map_or(true, |b| outcome.deviant_payoff > b.deviant_payoff) {
-            best = Some(outcome);
-        }
-    }
-    best.ok_or_else(|| GameError::InvalidConfig("empty deviation space".into()))
+    deviation_sweep(game, w_star, reaction_stages, delta_s, 0)?
+        .into_iter()
+        .reduce(|best, o| if o.deviant_payoff > best.deviant_payoff { o } else { best })
+        .ok_or_else(|| GameError::InvalidConfig("empty deviation space".into()))
 }
 
 /// Impact of a malicious player pinned at `w_mal` (Section V.E): TFT drags
@@ -304,6 +427,47 @@ mod tests {
         let ws = w_star(&g);
         let best = optimal_shortsighted_deviation(&g, ws, 1, 0.0).unwrap();
         assert!(best.w_s < ws / 2, "myopic optimum W_s = {} vs W* = {ws}", best.w_s);
+    }
+
+    #[test]
+    fn sweep_matches_individual_deviations() {
+        let g = game(5);
+        let ws = w_star(&g);
+        let sweep = deviation_sweep(&g, ws, 1, 0.5, 1).unwrap();
+        assert_eq!(sweep.len(), ws as usize);
+        for probe in [1u32, ws / 3, ws / 2, ws] {
+            let one = shortsighted_deviation(&g, ws, probe, 1, 0.5).unwrap();
+            let batched = &sweep[(probe - 1) as usize];
+            assert_eq!(batched.w_s, probe);
+            let scale = one.deviant_payoff.abs().max(1.0);
+            assert!(
+                (batched.deviant_payoff - one.deviant_payoff).abs() < 1e-6 * scale,
+                "w_s = {probe}: sweep {} vs direct {}",
+                batched.deviant_payoff,
+                one.deviant_payoff
+            );
+            assert!((batched.victim_payoff - one.victim_payoff).abs() < 1e-6 * scale);
+            assert!((batched.compliant_payoff - one.compliant_payoff).abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let g = game(4);
+        let serial = deviation_sweep(&g, 60, 1, 0.3, 1).unwrap();
+        for threads in [2, 5] {
+            let parallel = deviation_sweep(&g, 60, 1, 0.3, threads).unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_validation() {
+        let g = game(5);
+        assert!(deviation_sweep(&g, 0, 1, 0.5, 1).is_err());
+        assert!(deviation_sweep(&g, 60, 0, 0.5, 1).is_err());
+        assert!(deviation_sweep(&g, 60, 1, 1.0, 1).is_err());
+        assert!(deviation_sweep(&game(1), 60, 1, 0.5, 1).is_err());
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //! singles out `(W_c*, …, W_c*)`.
 
 use macgame_dcf::optimal;
+use macgame_dcf::parallel::resolve_threads;
 use serde::{Deserialize, Serialize};
 
-use crate::deviation::{deviator_stage, shortsighted_deviation, symmetric_stage};
+use crate::deviation::{deviation_sweep_memo, deviator_stage, symmetric_stage, symmetric_stage_table};
 use crate::error::GameError;
 use crate::game::GameConfig;
 
@@ -91,6 +92,20 @@ pub fn check_symmetric_ne(
     reaction_stages: u32,
     epsilon: f64,
 ) -> Result<NeCheck, GameError> {
+    check_symmetric_ne_memo(game, w, reaction_stages, epsilon, None)
+}
+
+/// [`check_symmetric_ne`] with an optional symmetric-stage memo (from
+/// [`crate::deviation::symmetric_stage_table`], covering at least `1..=w`).
+/// Memo entries equal what `symmetric_stage` returns, so the check is
+/// bitwise-identical with and without it.
+fn check_symmetric_ne_memo(
+    game: &GameConfig,
+    w: u32,
+    reaction_stages: u32,
+    epsilon: f64,
+    memo: Option<&[f64]>,
+) -> Result<NeCheck, GameError> {
     if epsilon < 0.0 {
         return Err(GameError::InvalidConfig("epsilon must be non-negative".into()));
     }
@@ -102,7 +117,10 @@ pub fn check_symmetric_ne(
     }
     // A NE candidate must first be individually rational (non-negative
     // payoff; Theorem 2 excludes W_c < W_c⁰).
-    let at_w = symmetric_stage(game, w)?;
+    let at_w = match memo {
+        Some(table) => table[w as usize],
+        None => symmetric_stage(game, w)?,
+    };
     if at_w < 0.0 {
         return Ok(NeCheck { window: w, is_ne: false, best_deviation: None });
     }
@@ -111,12 +129,21 @@ pub fn check_symmetric_ne(
     let compliant_total = t * at_w / (1.0 - delta);
 
     let mut best: Option<(u32, f64)> = None;
-    // Downward deviations: full TFT-punishment pricing.
-    for w_dev in 1..w {
-        let outcome = shortsighted_deviation(game, w, w_dev, reaction_stages, delta)?;
-        let gain = outcome.deviant_payoff - compliant_total;
-        if best.map_or(true, |(_, g)| gain > g) {
-            best = Some((w_dev, gain));
+    // Downward deviations: full TFT-punishment pricing. Batched as a
+    // serial warm-chained sweep (threads = 1): each one-deviator solve is
+    // seeded from its neighbor's solution, and callers such as
+    // [`scan_ne_interval`] parallelize across candidate windows instead.
+    // The sweep covers w_s ∈ [1, w]; w_s = w is compliance, not a
+    // deviation, so it is skipped.
+    if w > 1 {
+        for outcome in deviation_sweep_memo(game, w, reaction_stages, delta, 1, memo)? {
+            if outcome.w_s >= w {
+                continue;
+            }
+            let gain = outcome.deviant_payoff - compliant_total;
+            if best.map_or(true, |(_, g)| gain > g) {
+                best = Some((outcome.w_s, gain));
+            }
         }
     }
     // Upward deviations: the deviator's stage payoff drops immediately and
@@ -134,6 +161,42 @@ pub fn check_symmetric_ne(
     }
     let is_ne = best.map_or(true, |(_, g)| g <= epsilon * compliant_total.abs().max(1.0));
     Ok(NeCheck { window: w, is_ne, best_deviation: best })
+}
+
+/// Runs [`check_symmetric_ne`] for every window in `lo..=hi` — the
+/// explicit-verification scan behind Table II/III style NE intervals —
+/// fanning the independent checks over `threads` workers (`0` = auto from
+/// `MACGAME_THREADS`). Each check is a pure function of its window, so the
+/// returned vector is identical for every thread count.
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidConfig`] for an empty or out-of-space
+/// range; propagates the first [`check_symmetric_ne`] error in window
+/// order.
+pub fn scan_ne_interval(
+    game: &GameConfig,
+    lo: u32,
+    hi: u32,
+    reaction_stages: u32,
+    epsilon: f64,
+    threads: usize,
+) -> Result<Vec<NeCheck>, GameError> {
+    if lo == 0 || hi < lo || hi > game.w_max() {
+        return Err(GameError::InvalidConfig(format!(
+            "scan range [{lo}, {hi}] outside strategy space [1, {}]",
+            game.w_max()
+        )));
+    }
+    // One bisection per window for the whole scan; every check then reads
+    // its compliant and post-punishment stages from the shared memo.
+    let memo = symmetric_stage_table(game, hi, threads)?;
+    let windows: Vec<u32> = (lo..=hi).collect();
+    let checks: Vec<Result<NeCheck, GameError>> =
+        rayon::map_in_order(windows, resolve_threads(threads), |w| {
+            check_symmetric_ne_memo(game, w, reaction_stages, epsilon, Some(&memo))
+        });
+    checks.into_iter().collect()
 }
 
 /// Which refinement criteria a symmetric NE satisfies (Section V.B).
@@ -376,6 +439,37 @@ mod tests {
         let exact = efficient_ne(&g).unwrap().window;
         let variant = efficient_ne_tau_star(&g).unwrap().window;
         assert!(exact.abs_diff(variant) <= 6, "exact {exact} vs τ*-inversion {variant}");
+    }
+
+    #[test]
+    fn scan_confirms_theorem2_interval_windows() {
+        let g = game(5);
+        let interval = ne_interval(&g).unwrap();
+        let lo = interval.lower.max(1);
+        let hi = interval.upper;
+        let checks = scan_ne_interval(&g, lo, hi, 1, DEFAULT_NE_EPSILON, 0).unwrap();
+        assert_eq!(checks.len(), (hi - lo + 1) as usize);
+        for c in &checks {
+            assert!(c.is_ne, "W = {} in [W_c⁰, W_c*] must be a NE", c.window);
+        }
+    }
+
+    #[test]
+    fn scan_matches_individual_checks() {
+        let g = game(4);
+        let checks = scan_ne_interval(&g, 30, 40, 1, DEFAULT_NE_EPSILON, 1).unwrap();
+        for c in &checks {
+            let single = check_symmetric_ne(&g, c.window, 1, DEFAULT_NE_EPSILON).unwrap();
+            assert_eq!(c, &single);
+        }
+    }
+
+    #[test]
+    fn scan_rejects_bad_ranges() {
+        let g = game(3);
+        assert!(scan_ne_interval(&g, 0, 5, 1, DEFAULT_NE_EPSILON, 0).is_err());
+        assert!(scan_ne_interval(&g, 10, 5, 1, DEFAULT_NE_EPSILON, 0).is_err());
+        assert!(scan_ne_interval(&g, 1, g.w_max() + 1, 1, DEFAULT_NE_EPSILON, 0).is_err());
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!   and returns *measured* payoffs and *estimated* peer windows, i.e. the
 //!   noisy regime the GTFT tolerance parameters exist for (Section VII).
 
+use std::collections::hash_map::Entry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use macgame_dcf::cache::canonicalize;
 use macgame_dcf::fixedpoint::{solve, SolveOptions};
 use macgame_dcf::utility::all_utilities;
 use macgame_sim::{estimate_windows, Engine, SimConfig};
@@ -159,42 +164,138 @@ impl StageEvaluator for SimulatedEvaluator {
 /// tournaments and best-response dynamics revisit the same profiles
 /// constantly, and the analytic outcome of a profile never changes.
 ///
+/// The cache is **shared and thread-safe**: cloning a `CachingEvaluator`
+/// yields a handle onto the same underlying map and counters, so parallel
+/// drivers can hand each worker its own clone and every worker benefits
+/// from profiles the others already evaluated.
+///
+/// By default lookups are **permutation-canonicalizing**: the profile is
+/// sorted, the inner evaluator runs on the sorted profile, and the outcome
+/// is remapped through the inverse permutation. Both the hit and the miss
+/// path remap the same stored canonical outcome, so a hit is
+/// bitwise-identical to a fresh evaluation of the same profile. This
+/// requires the inner evaluator to be *permutation-equivariant* (relabeling
+/// players relabels the outcome the same way) — true of
+/// [`AnalyticalEvaluator`], whose utilities depend only on each player's
+/// own window and the multiset of others. For a deterministic evaluator
+/// that treats player identity specially, disable it with
+/// [`CachingEvaluator::without_canonicalization`].
+///
 /// Do **not** wrap [`SimulatedEvaluator`]: its outcomes are noisy samples
 /// and its engine state advances per call — caching would freeze one
 /// sample forever.
 #[derive(Debug)]
 pub struct CachingEvaluator<E> {
     inner: E,
-    cache: std::collections::HashMap<Vec<u32>, StageOutcome>,
-    /// Cache hits served.
-    pub hits: u64,
-    /// Cache misses (inner evaluations performed).
-    pub misses: u64,
+    cache: Arc<RwLock<std::collections::HashMap<Vec<u32>, Arc<StageOutcome>>>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+    canonical: bool,
+}
+
+impl<E: Clone> Clone for CachingEvaluator<E> {
+    /// Clones the inner evaluator but **shares** the cache and counters.
+    fn clone(&self) -> Self {
+        CachingEvaluator {
+            inner: self.inner.clone(),
+            cache: Arc::clone(&self.cache),
+            hits: Arc::clone(&self.hits),
+            misses: Arc::clone(&self.misses),
+            canonical: self.canonical,
+        }
+    }
 }
 
 impl<E: StageEvaluator> CachingEvaluator<E> {
-    /// Wraps `inner`.
+    /// Wraps `inner` with permutation canonicalization enabled.
     #[must_use]
     pub fn new(inner: E) -> Self {
         CachingEvaluator {
             inner,
-            cache: std::collections::HashMap::new(),
-            hits: 0,
-            misses: 0,
+            cache: Arc::new(RwLock::new(std::collections::HashMap::new())),
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+            canonical: true,
         }
+    }
+
+    /// Disables permutation canonicalization: profiles are cached verbatim
+    /// and the inner evaluator sees them in player order. Use for
+    /// deterministic evaluators that are not permutation-equivariant.
+    #[must_use]
+    pub fn without_canonicalization(mut self) -> Self {
+        self.canonical = false;
+        self
+    }
+
+    /// Cache hits served (shared across clones).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses, i.e. inner evaluations performed (shared across
+    /// clones).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Remaps an outcome of the canonical (sorted) profile back onto the
+    /// original player order: output index `perm[k]` receives canonical
+    /// index `k`.
+    fn remap(canonical: &StageOutcome, perm: &[usize]) -> StageOutcome {
+        let n = perm.len();
+        let mut utilities = vec![0.0; n];
+        let mut observed_windows = vec![0; n];
+        for (k, &original) in perm.iter().enumerate() {
+            utilities[original] = canonical.utilities[k];
+            observed_windows[original] = canonical.observed_windows[k];
+        }
+        StageOutcome { utilities, observed_windows }
     }
 }
 
 impl<E: StageEvaluator> StageEvaluator for CachingEvaluator<E> {
     fn evaluate(&mut self, windows: &[u32]) -> Result<StageOutcome, GameError> {
-        if let Some(cached) = self.cache.get(windows) {
-            self.hits += 1;
-            return Ok(cached.clone());
-        }
-        let outcome = self.inner.evaluate(windows)?;
-        self.misses += 1;
-        self.cache.insert(windows.to_vec(), outcome.clone());
-        Ok(outcome)
+        let (key, perm) = if self.canonical {
+            let (sorted, perm) = canonicalize(windows);
+            (sorted, Some(perm))
+        } else {
+            (windows.to_vec(), None)
+        };
+        let stored = {
+            let hit = self.cache.read().expect("cache lock poisoned").get(&key).cloned();
+            match hit {
+                Some(outcome) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    outcome
+                }
+                None => {
+                    // Evaluate outside the write lock: concurrent misses on
+                    // the same key may duplicate work, but never block each
+                    // other, and the first insert wins so every caller
+                    // observes one canonical outcome.
+                    let outcome = Arc::new(self.inner.evaluate(&key)?);
+                    let mut map = self.cache.write().expect("cache lock poisoned");
+                    match map.entry(key) {
+                        Entry::Occupied(existing) => {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            Arc::clone(existing.get())
+                        }
+                        Entry::Vacant(slot) => {
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            slot.insert(Arc::clone(&outcome));
+                            outcome
+                        }
+                    }
+                }
+            }
+        };
+        Ok(match perm {
+            Some(perm) => Self::remap(&stored, &perm),
+            None => (*stored).clone(),
+        })
     }
 }
 
@@ -276,10 +377,93 @@ mod tests {
         let a = cached.evaluate(&[76, 76, 76]).unwrap();
         let b = cached.evaluate(&[76, 76, 76]).unwrap();
         assert_eq!(a, b);
-        assert_eq!(cached.hits, 1);
-        assert_eq!(cached.misses, 1);
+        assert_eq!(cached.hits(), 1);
+        assert_eq!(cached.misses(), 1);
         let _ = cached.evaluate(&[10, 76, 76]).unwrap();
-        assert_eq!(cached.misses, 2);
+        assert_eq!(cached.misses(), 2);
+    }
+
+    #[test]
+    fn caching_evaluator_hit_is_bitwise_identical() {
+        let g = game(4);
+        let mut cached = CachingEvaluator::new(AnalyticalEvaluator::new(g));
+        let profile = [256u32, 16, 64, 16];
+        let fresh = cached.evaluate(&profile).unwrap();
+        let hit = cached.evaluate(&profile).unwrap();
+        assert_eq!(cached.hits(), 1);
+        assert_eq!(fresh.utilities, hit.utilities);
+        assert_eq!(fresh.observed_windows, hit.observed_windows);
+    }
+
+    #[test]
+    fn caching_evaluator_canonicalizes_permutations() {
+        let g = game(3);
+        let mut cached = CachingEvaluator::new(AnalyticalEvaluator::new(g.clone()));
+        let a = cached.evaluate(&[16, 64, 256]).unwrap();
+        let b = cached.evaluate(&[256, 16, 64]).unwrap();
+        assert_eq!(cached.misses(), 1);
+        assert_eq!(cached.hits(), 1);
+        // The player on window 16 gets the same utility in both orderings,
+        // bitwise, because both paths remap the same canonical outcome.
+        assert_eq!(a.utilities[0], b.utilities[1]);
+        assert_eq!(a.utilities[1], b.utilities[2]);
+        assert_eq!(a.utilities[2], b.utilities[0]);
+        assert_eq!(a.observed_windows, vec![16, 64, 256]);
+        assert_eq!(b.observed_windows, vec![256, 16, 64]);
+        // And the outcome matches an uncached evaluation in player order.
+        let direct = AnalyticalEvaluator::new(g).evaluate(&[256, 16, 64]).unwrap();
+        for i in 0..3 {
+            assert!((b.utilities[i] - direct.utilities[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn caching_evaluator_without_canonicalization_caches_verbatim() {
+        let g = game(3);
+        let mut cached =
+            CachingEvaluator::new(AnalyticalEvaluator::new(g)).without_canonicalization();
+        let _ = cached.evaluate(&[16, 64, 256]).unwrap();
+        let _ = cached.evaluate(&[256, 16, 64]).unwrap();
+        assert_eq!(cached.misses(), 2);
+        assert_eq!(cached.hits(), 0);
+    }
+
+    #[test]
+    fn caching_evaluator_clones_share_one_cache() {
+        let g = game(3);
+        let base = CachingEvaluator::new(AnalyticalEvaluator::new(g));
+        let expect = base.clone().evaluate(&[16, 64, 256]).unwrap();
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let mut worker = base.clone();
+                    scope.spawn(move || {
+                        // Every worker hammers a permutation of one profile.
+                        let p = match i % 3 {
+                            0 => [16u32, 64, 256],
+                            1 => [64, 256, 16],
+                            _ => [256, 16, 64],
+                        };
+                        (i, worker.evaluate(&p).unwrap())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        for (i, out) in &results {
+            // Player on window 16 sits at a different index per permutation
+            // but always receives the identical canonical utility.
+            let idx16 = match i % 3 {
+                0 => 0,
+                1 => 2,
+                _ => 1,
+            };
+            assert_eq!(out.utilities[idx16], expect.utilities[0]);
+        }
+        assert_eq!(base.hits() + base.misses(), 9);
+        // All three permutations share one canonical entry, so at most a
+        // few racing first-misses ever ran the inner evaluator.
+        assert!(base.misses() <= 3, "misses {}", base.misses());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! self-play included, as in Axelrod's tournaments) or one mixed-population
 //! game, and are ranked by total discounted payoff.
 
+use macgame_dcf::parallel::resolve_threads;
+
 use crate::error::GameError;
 use crate::evaluator::AnalyticalEvaluator;
 use crate::game::GameConfig;
@@ -13,10 +15,12 @@ use crate::repeated::RepeatedGame;
 use crate::strategy::Strategy;
 
 /// A named strategy entrant; the factory builds a fresh (stateless-start)
-/// strategy instance per match.
+/// strategy instance per match. `Send + Sync` so tournaments can play
+/// matches on worker threads (each match instantiates and uses its
+/// strategies on one thread).
 pub struct Entrant {
     name: String,
-    factory: Box<dyn Fn() -> Box<dyn Strategy>>,
+    factory: Box<dyn Fn() -> Box<dyn Strategy> + Send + Sync>,
 }
 
 impl Entrant {
@@ -24,7 +28,7 @@ impl Entrant {
     #[must_use]
     pub fn new(
         name: impl Into<String>,
-        factory: impl Fn() -> Box<dyn Strategy> + 'static,
+        factory: impl Fn() -> Box<dyn Strategy> + Send + Sync + 'static,
     ) -> Self {
         Entrant { name: name.into(), factory: Box::new(factory) }
     }
@@ -84,6 +88,11 @@ impl TournamentResult {
 /// included) plays a 2-player repeated MAC game for `stages` stages on the
 /// analytical evaluator.
 ///
+/// Matches are independent, so they are fanned out over the
+/// `MACGAME_THREADS` worker pool (each match builds its own strategies,
+/// evaluator and engine); scores land in the matrix in pair order, so the
+/// result is identical for every thread count.
+///
 /// # Errors
 ///
 /// Returns [`GameError::InvalidConfig`] for an empty field; propagates
@@ -104,17 +113,19 @@ pub fn round_robin(
         .w_max(template.w_max())
         .build()?;
     let n = entrants.len();
-    let mut scores = vec![vec![0.0; n]; n];
-    for i in 0..n {
-        for j in 0..n {
+    let pairs: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
+    let played: Vec<Result<f64, GameError>> =
+        rayon::map_in_order(pairs, resolve_threads(0), |(i, j)| {
             let players: Vec<Box<dyn Strategy>> =
                 vec![(entrants[i].factory)(), (entrants[j].factory)()];
             let evaluator = Box::new(AnalyticalEvaluator::new(game.clone()));
             let mut rg = RepeatedGame::new(game.clone(), players, evaluator)?;
             rg.play(stages)?;
-            let payoffs = rg.discounted_payoffs();
-            scores[i][j] = payoffs[0];
-        }
+            Ok(rg.discounted_payoffs()[0])
+        });
+    let mut scores = vec![vec![0.0; n]; n];
+    for (k, score) in played.into_iter().enumerate() {
+        scores[k / n][k % n] = score?;
     }
     Ok(TournamentResult {
         names: entrants.iter().map(|e| e.name.clone()).collect(),

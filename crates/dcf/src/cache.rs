@@ -1,0 +1,248 @@
+//! Thread-safe, permutation-canonicalizing cache of fixed-point solutions.
+//!
+//! The coupled `(τ, p)` system is symmetric under player relabeling: if
+//! `σ` permutes the window profile, the solution permutes the same way.
+//! Scans, payoff-table builds and tournaments therefore revisit the same
+//! *multiset* of windows under many orderings. [`SolveCache`] exploits
+//! this by keying on the sorted profile and remapping the stored solution
+//! through the inverse permutation on every lookup.
+//!
+//! Both the hit and the miss path solve the **sorted** profile and then
+//! remap, so a cache hit is bitwise-identical to a fresh solve of the
+//! same profile — there is no numerical penalty for going through the
+//! cache.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::error::DcfError;
+use crate::fixedpoint::{solve, Equilibrium, SolveOptions};
+use crate::params::DcfParams;
+
+/// Stable argsort of a window profile: returns the sorted profile and the
+/// permutation `perm` with `sorted[k] == windows[perm[k]]`.
+#[must_use]
+pub fn canonicalize(windows: &[u32]) -> (Vec<u32>, Vec<usize>) {
+    let mut perm: Vec<usize> = (0..windows.len()).collect();
+    perm.sort_by_key(|&i| windows[i]);
+    let sorted = perm.iter().map(|&i| windows[i]).collect();
+    (sorted, perm)
+}
+
+/// Maps a solution of the sorted profile back onto the original player
+/// order: output index `perm[k]` receives canonical index `k`.
+#[must_use]
+pub fn remap(canonical: &Equilibrium, perm: &[usize]) -> Equilibrium {
+    let n = perm.len();
+    let mut taus = vec![0.0; n];
+    let mut collision_probs = vec![0.0; n];
+    for (k, &original) in perm.iter().enumerate() {
+        taus[original] = canonical.taus[k];
+        collision_probs[original] = canonical.collision_probs[k];
+    }
+    Equilibrium { taus, collision_probs, iterations: canonical.iterations }
+}
+
+/// Shared profile → [`Equilibrium`] cache for one `(params, options)`
+/// pair. Wrap in an [`Arc`] to share across threads; all methods take
+/// `&self`.
+#[derive(Debug)]
+pub struct SolveCache {
+    params: DcfParams,
+    options: SolveOptions,
+    map: RwLock<HashMap<Vec<u32>, Arc<Equilibrium>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolveCache {
+    /// Creates an empty cache bound to `params` and `options`.
+    #[must_use]
+    pub fn new(params: DcfParams, options: SolveOptions) -> Self {
+        SolveCache {
+            params,
+            options,
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The DCF parameters every cached solution was computed under.
+    #[must_use]
+    pub fn params(&self) -> &DcfParams {
+        &self.params
+    }
+
+    /// The solver options every cached solution was computed under.
+    #[must_use]
+    pub fn options(&self) -> SolveOptions {
+        self.options
+    }
+
+    /// Solves `windows`, serving permutations of previously-seen profiles
+    /// from the cache. The result is bitwise-identical to
+    /// `remap(solve(sorted), perm)`, whether it was a hit or a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`solve`] errors (invalid profile, non-convergence).
+    pub fn solve(&self, windows: &[u32]) -> Result<Equilibrium, DcfError> {
+        let (sorted, perm) = canonicalize(windows);
+        let canonical = self.solve_canonical(sorted)?;
+        Ok(remap(&canonical, &perm))
+    }
+
+    /// Solves an already-sorted profile, sharing the stored [`Arc`].
+    fn solve_canonical(&self, sorted: Vec<u32>) -> Result<Arc<Equilibrium>, DcfError> {
+        if let Some(hit) = self.map.read().expect("cache lock poisoned").get(&sorted) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        // Solve outside the write lock: concurrent misses on the same key
+        // may duplicate work, but never block each other, and the first
+        // insert wins so every caller observes one canonical solution.
+        let solved = Arc::new(solve(&sorted, &self.params, self.options)?);
+        let mut map = self.map.write().expect("cache lock poisoned");
+        match map.entry(sorted) {
+            Entry::Occupied(existing) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::clone(existing.get()))
+            }
+            Entry::Vacant(slot) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                slot.insert(Arc::clone(&solved));
+                Ok(solved)
+            }
+        }
+    }
+
+    /// Number of lookups served from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that required a fresh solve.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct canonical profiles stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached solutions and resets the counters.
+    pub fn clear(&self) {
+        self.map.write().expect("cache lock poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> SolveCache {
+        SolveCache::new(DcfParams::default(), SolveOptions::default())
+    }
+
+    #[test]
+    fn canonicalize_is_a_stable_sort() {
+        let (sorted, perm) = canonicalize(&[64, 16, 64, 8]);
+        assert_eq!(sorted, vec![8, 16, 64, 64]);
+        // Stable: the two 64s keep their original relative order.
+        assert_eq!(perm, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn hit_is_bitwise_identical_to_fresh_solve() {
+        let c = cache();
+        let profile = [256u32, 16, 64, 16];
+        let fresh = c.solve(&profile).unwrap();
+        assert_eq!(c.misses(), 1);
+        let hit = c.solve(&profile).unwrap();
+        assert_eq!(c.hits(), 1);
+        assert_eq!(fresh.taus, hit.taus);
+        assert_eq!(fresh.collision_probs, hit.collision_probs);
+    }
+
+    #[test]
+    fn permutations_share_one_entry_and_remap_correctly() {
+        let c = cache();
+        let a = c.solve(&[16, 64, 256]).unwrap();
+        let b = c.solve(&[256, 16, 64]).unwrap();
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.len(), 1);
+        // Player with window 16 gets the same τ in both orderings — and
+        // bitwise so, because both paths remap the same canonical solve.
+        assert_eq!(a.taus[0], b.taus[1]);
+        assert_eq!(a.taus[1], b.taus[2]);
+        assert_eq!(a.taus[2], b.taus[0]);
+        assert_eq!(a.collision_probs[2], b.collision_probs[0]);
+    }
+
+    #[test]
+    fn matches_direct_solver_within_tolerance() {
+        let c = cache();
+        let profile = [128u32, 8, 32];
+        let cached = c.solve(&profile).unwrap();
+        let direct = solve(&profile, &DcfParams::default(), SolveOptions::default()).unwrap();
+        for i in 0..profile.len() {
+            assert!((cached.taus[i] - direct.taus[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn propagates_solver_errors() {
+        let c = cache();
+        assert!(c.solve(&[]).is_err());
+        assert!(c.solve(&[0, 4]).is_err());
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c = Arc::new(cache());
+        let profiles: Vec<Vec<u32>> = (0..16u32)
+            .map(|i| vec![16 + i % 4, 64, 128 + (i / 4) * 8])
+            .collect();
+        let expect: Vec<_> = profiles.iter().map(|p| c.solve(p).unwrap()).collect();
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = profiles
+                .iter()
+                .map(|p| {
+                    let c = Arc::clone(&c);
+                    scope.spawn(move || c.solve(p).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        for (got, want) in results.iter().zip(&expect) {
+            assert_eq!(got.taus, want.taus);
+        }
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let c = cache();
+        c.solve(&[8, 16]).unwrap();
+        c.solve(&[8, 16]).unwrap();
+        assert!(c.hits() > 0 && !c.is_empty());
+        c.clear();
+        assert_eq!((c.hits(), c.misses(), c.len()), (0, 0, 0));
+    }
+}

@@ -13,7 +13,11 @@
 //!   explicit-matrix solver used for cross-validation;
 //! * [`fixedpoint`] — the coupled `2n`-equation system linking all nodes
 //!   (paper Eq. (3)), with a guaranteed bisection path for symmetric
-//!   profiles and a damped iteration for arbitrary ones;
+//!   profiles and a damped, warm-startable iteration for arbitrary ones;
+//! * [`cache`] — thread-safe, permutation-canonicalizing memoization of
+//!   fixed-point solutions (a hit is bitwise-identical to a fresh solve);
+//! * [`parallel`] — warm-chained, chunk-parallel profile sweeps and the
+//!   workspace-wide `threads` knob (`0` = auto via `MACGAME_THREADS`);
 //! * [`throughput`] — slot statistics and normalized saturation throughput;
 //! * [`utility`] — the selfish utility `u_i = τ_i((1−p_i)g − e)/T_slot`,
 //!   stage/discounted sums and the Figure-2/3 `U/C` normalization;
@@ -46,11 +50,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod delay;
 pub mod error;
 pub mod fairness;
 pub mod fixedpoint;
 pub mod markov;
+pub mod parallel;
 pub mod optimal;
 pub mod params;
 pub mod presets;
@@ -58,8 +64,12 @@ pub mod throughput;
 pub mod units;
 pub mod utility;
 
+pub use cache::SolveCache;
 pub use error::DcfError;
-pub use fixedpoint::{solve, solve_symmetric, Equilibrium, SolveOptions, SymmetricPoint};
+pub use fixedpoint::{
+    solve, solve_symmetric, solve_with_guess, Equilibrium, SolveOptions, SymmetricPoint,
+};
+pub use parallel::{resolve_threads, solve_sweep, solve_sweep_cached};
 pub use optimal::{efficient_cw, ne_interval, optimal_tau, EfficientNe, NeInterval};
 pub use params::{AccessMode, DcfParams, DcfParamsBuilder, FrameParams, FrameTimings, PhyParams};
 pub use units::{BitRate, Bits, MicroSecs};

@@ -1,8 +1,9 @@
 //! Property-based tests of the analytical model's invariants.
 
+use macgame_dcf::cache::{canonicalize, remap, SolveCache};
 use macgame_dcf::delay::mean_access_slots;
 use macgame_dcf::fairness::{jain_index, min_max_ratio};
-use macgame_dcf::fixedpoint::{solve, solve_symmetric, SolveOptions};
+use macgame_dcf::fixedpoint::{solve, solve_symmetric, solve_with_guess, SolveOptions};
 use macgame_dcf::markov::{transmission_probability, BackoffChain};
 use macgame_dcf::optimal::{ne_interval, q_function};
 use macgame_dcf::throughput::{node_throughput, normalized_throughput, slot_stats};
@@ -139,6 +140,64 @@ proptest! {
         prop_assert!(interval.lower <= interval.upper);
         prop_assert!(interval.upper <= 1024);
         prop_assert_eq!(interval.count(), interval.upper - interval.lower + 1);
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold_solve(
+        windows in prop::collection::vec(1u32..1024, 2..8),
+        perturb in prop::collection::vec(-0.01f64..0.01, 8),
+        mode in any_mode(),
+    ) {
+        // Seeding the iteration from a perturbed copy of the solution (a
+        // stand-in for "the neighboring profile's root") must converge to
+        // the same fixed point as the cold solve, within tolerance.
+        let p = params(mode);
+        let options = SolveOptions::default();
+        let cold = solve(&windows, &p, options).unwrap();
+        let seed: Vec<f64> = cold
+            .taus
+            .iter()
+            .zip(&perturb)
+            .map(|(t, d)| (t + d).clamp(0.0, 1.0))
+            .collect();
+        let warm = solve_with_guess(&windows, &p, options, Some(&seed)).unwrap();
+        for i in 0..windows.len() {
+            prop_assert!(
+                (warm.taus[i] - cold.taus[i]).abs() < 100.0 * options.tolerance,
+                "node {i}: warm τ {} vs cold τ {}", warm.taus[i], cold.taus[i]
+            );
+            prop_assert!(
+                (warm.collision_probs[i] - cold.collision_probs[i]).abs()
+                    < 100.0 * options.tolerance
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hits_bitwise_match_fresh_solves_under_permutation(
+        windows in prop::collection::vec(1u32..1024, 2..8),
+        rotation in 0usize..8,
+    ) {
+        // Warm the cache with the profile, then look up a rotation of it:
+        // the hit must be bitwise-identical to solving the sorted profile
+        // fresh and remapping through the rotation's permutation.
+        let p = params(AccessMode::Basic);
+        let options = SolveOptions::default();
+        let cache = SolveCache::new(p, options);
+        cache.solve(&windows).unwrap();
+        prop_assert_eq!(cache.misses(), 1);
+
+        let k = rotation % windows.len();
+        let rotated: Vec<u32> =
+            windows.iter().skip(k).chain(windows.iter().take(k)).copied().collect();
+        let hit = cache.solve(&rotated).unwrap();
+        prop_assert_eq!(cache.misses(), 1, "a permutation must not re-solve");
+        prop_assert_eq!(cache.hits(), 1);
+
+        let (sorted, perm) = canonicalize(&rotated);
+        let fresh = remap(&solve(&sorted, &p, options).unwrap(), &perm);
+        prop_assert_eq!(&hit.taus, &fresh.taus, "hit must be bitwise-identical");
+        prop_assert_eq!(&hit.collision_probs, &fresh.collision_probs);
     }
 
     #[test]

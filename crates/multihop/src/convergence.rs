@@ -151,29 +151,51 @@ pub fn check_multihop_ne(
             topology.len()
         )));
     }
+    // The check for node `i` depends only on its local population, which
+    // repeats heavily across a network: solve each distinct population's
+    // local game once, fanned out over the `MACGAME_THREADS` pool, then
+    // fold per node in index order — reproducing exactly the verdict (and
+    // stop-at-first-violation `worst` accounting) of a serial node loop.
+    let populations: Vec<usize> =
+        (0..topology.len()).map(|i| topology.local_population(i)).collect();
+    let mut distinct: Vec<usize> = populations.iter().copied().filter(|&n| n >= 2).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    type LocalVerdict = (macgame_core::equilibrium::NeCheck, f64);
+    let threads = macgame_dcf::parallel::resolve_threads(0);
+    let solved: Vec<Result<LocalVerdict, MultihopError>> =
+        rayon::map_in_order(distinct.clone(), threads, |n_local| {
+            let game = macgame_core::GameConfig::builder(n_local)
+                .params(*game_template.params())
+                .utility(*game_template.utility())
+                .stage_duration(game_template.stage_duration())
+                .discount(game_template.discount())
+                .w_max(game_template.w_max())
+                .build()
+                .map_err(|e| MultihopError::InvalidInput(e.to_string()))?;
+            let check = macgame_core::equilibrium::check_symmetric_ne(&game, w_m, 1, epsilon)
+                .map_err(MultihopError::from)?;
+            let compliant = macgame_core::deviation::symmetric_stage(&game, w_m)
+                .map_err(MultihopError::from)?
+                .abs()
+                .max(f64::MIN_POSITIVE);
+            let total =
+                game.stage_duration().value() * compliant / (1.0 - game.discount());
+            Ok((check, total))
+        });
+    let mut verdicts: std::collections::HashMap<usize, LocalVerdict> =
+        std::collections::HashMap::with_capacity(distinct.len());
+    for (n_local, v) in distinct.into_iter().zip(solved) {
+        verdicts.insert(n_local, v?);
+    }
     let mut worst: Option<(usize, f64)> = None;
-    for i in 0..topology.len() {
-        let n_local = topology.local_population(i);
-        if n_local < 2 {
+    for (i, n_local) in populations.iter().enumerate() {
+        if *n_local < 2 {
             continue; // no contention, nothing to deviate over
         }
-        let game = macgame_core::GameConfig::builder(n_local)
-            .params(*game_template.params())
-            .utility(*game_template.utility())
-            .stage_duration(game_template.stage_duration())
-            .discount(game_template.discount())
-            .w_max(game_template.w_max())
-            .build()
-            .map_err(|e| MultihopError::InvalidInput(e.to_string()))?;
-        let check = macgame_core::equilibrium::check_symmetric_ne(&game, w_m, 1, epsilon)
-            .map_err(MultihopError::from)?;
-        let compliant = macgame_core::deviation::symmetric_stage(&game, w_m)
-            .map_err(MultihopError::from)?
-            .abs()
-            .max(f64::MIN_POSITIVE);
+        let (check, compliant_total) = &verdicts[n_local];
         if let Some((_, gain)) = check.best_deviation {
-            let rel = gain
-                / (game.stage_duration().value() * compliant / (1.0 - game.discount()));
+            let rel = gain / compliant_total;
             if worst.map_or(true, |(_, g)| rel > g) {
                 worst = Some((i, rel));
             }

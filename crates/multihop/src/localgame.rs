@@ -29,8 +29,12 @@ pub enum LocalRule {
 
 /// Computes every node's local optimal window under `rule`.
 ///
-/// Populations repeat heavily across a network, so results are memoized per
-/// distinct `deg(i) + 1`.
+/// Populations repeat heavily across a network, so the local-game argmax
+/// is solved once per **distinct** `deg(i) + 1` — and those independent
+/// solves are fanned out over the `MACGAME_THREADS` worker pool (each is
+/// a full window-space search over symmetric fixed points). Results are
+/// assembled per node afterwards, so the output is identical for every
+/// thread count.
 ///
 /// A node with no neighbors faces no contention; it gets window 1
 /// (transmit whenever it has something to send).
@@ -45,32 +49,28 @@ pub fn local_optimal_windows(
     w_max: u32,
     rule: LocalRule,
 ) -> Result<Vec<u32>, MultihopError> {
-    let mut cache: HashMap<usize, u32> = HashMap::new();
-    let mut out = Vec::with_capacity(topology.len());
-    for i in 0..topology.len() {
-        let n_local = topology.local_population(i);
-        let w = match cache.get(&n_local) {
-            Some(&w) => w,
-            None => {
-                let w = if n_local < 2 {
-                    1
-                } else {
-                    match rule {
-                        LocalRule::ExactArgmax => {
-                            efficient_cw(n_local, params, utility, w_max)?.window
-                        }
-                        LocalRule::TauStarInversion => {
-                            efficient_cw_from_tau_star(n_local, params, w_max)?.window
-                        }
-                    }
-                };
-                cache.insert(n_local, w);
-                w
+    let populations: Vec<usize> = (0..topology.len()).map(|i| topology.local_population(i)).collect();
+    let mut distinct: Vec<usize> = populations.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let threads = macgame_dcf::parallel::resolve_threads(0);
+    let solved: Vec<Result<u32, MultihopError>> =
+        rayon::map_in_order(distinct.clone(), threads, |n_local| {
+            if n_local < 2 {
+                return Ok(1);
             }
-        };
-        out.push(w);
+            Ok(match rule {
+                LocalRule::ExactArgmax => efficient_cw(n_local, params, utility, w_max)?.window,
+                LocalRule::TauStarInversion => {
+                    efficient_cw_from_tau_star(n_local, params, w_max)?.window
+                }
+            })
+        });
+    let mut cache: HashMap<usize, u32> = HashMap::with_capacity(distinct.len());
+    for (n_local, w) in distinct.into_iter().zip(solved) {
+        cache.insert(n_local, w?);
     }
-    Ok(out)
+    Ok(populations.iter().map(|n| cache[n]).collect())
 }
 
 /// Utility rate (per µs) in the multi-hop model of Section VI.A:

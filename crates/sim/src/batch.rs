@@ -66,7 +66,13 @@ impl Summary {
 }
 
 /// Runs `replications` independent simulations of `slots` slots each
-/// (seeds `base_seed, base_seed+1, …`) and returns the per-run reports.
+/// (seeds `base_seed, base_seed+1, …`) and returns the per-run reports in
+/// seed order.
+///
+/// Replicas are fanned out over the `MACGAME_THREADS` worker pool. Each
+/// replica owns its engine and a seed-derived RNG, so the reports are
+/// identical for every thread count — parallelism across replicas never
+/// touches the per-replica random streams.
 ///
 /// # Errors
 ///
@@ -80,19 +86,20 @@ pub fn replicate(
     if replications == 0 {
         return Err(SimError::InvalidConfig("need at least one replication".into()));
     }
-    let mut out = Vec::with_capacity(replications);
-    for r in 0..replications {
-        let rc = SimConfig::builder()
-            .params(*config.params())
-            .utility(*config.utility())
-            .windows(config.windows().to_vec())
-            .traffic(config.traffic())
-            .seed(base_seed.wrapping_add(r as u64))
-            .build()?;
-        let mut engine = Engine::new(&rc);
-        out.push(engine.run_slots(slots));
-    }
-    Ok(out)
+    let threads = macgame_dcf::parallel::resolve_threads(0);
+    let seeds: Vec<u64> = (0..replications).map(|r| base_seed.wrapping_add(r as u64)).collect();
+    let reports: Vec<Result<StageReport, SimError>> =
+        rayon::map_in_order(seeds, threads, |seed| {
+            let rc = SimConfig::builder()
+                .params(*config.params())
+                .utility(*config.utility())
+                .windows(config.windows().to_vec())
+                .traffic(config.traffic())
+                .seed(seed)
+                .build()?;
+            Ok(Engine::new(&rc).run_slots(slots))
+        });
+    reports.into_iter().collect()
 }
 
 /// Convenience: replicated estimate of one node's `τ̂` with a [`Summary`].
@@ -142,6 +149,26 @@ mod tests {
         assert_eq!(reports.len(), 4);
         // Different seeds ⇒ different realizations.
         assert!(reports.windows(2).any(|p| p[0] != p[1]));
+    }
+
+    #[test]
+    fn replicate_matches_serial_construction() {
+        // The parallel fan-out must reproduce exactly what a serial loop
+        // over seed-derived engines produces, replica by replica.
+        let config = SimConfig::builder().symmetric(3, 16).build().unwrap();
+        let reports = replicate(&config, 2_000, 3, 42).unwrap();
+        for (r, report) in reports.iter().enumerate() {
+            let rc = SimConfig::builder()
+                .params(*config.params())
+                .utility(*config.utility())
+                .windows(config.windows().to_vec())
+                .traffic(config.traffic())
+                .seed(42 + r as u64)
+                .build()
+                .unwrap();
+            let direct = Engine::new(&rc).run_slots(2_000);
+            assert_eq!(report, &direct, "replica {r}");
+        }
     }
 
     #[test]

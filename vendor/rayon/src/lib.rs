@@ -1,0 +1,197 @@
+//! Offline shim for the subset of `rayon` used by this workspace:
+//! `par_iter()` / `into_par_iter()` followed by `.map(...).collect()`,
+//! plus [`current_num_threads`].
+//!
+//! Implementation: the input is materialized, split into contiguous
+//! chunks, and mapped on `std::thread::scope` workers; results are
+//! stitched back in input order, so output ordering is identical to the
+//! serial path regardless of thread count.
+//!
+//! Thread count resolution (first match wins): the `MACGAME_THREADS`
+//! environment variable, the `RAYON_NUM_THREADS` environment variable,
+//! then [`std::thread::available_parallelism`]. A value of `1` bypasses
+//! thread spawning entirely.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Number of worker threads the shim will use.
+///
+/// Resolution order: `MACGAME_THREADS`, then `RAYON_NUM_THREADS`, then
+/// [`std::thread::available_parallelism`].
+#[must_use]
+pub fn current_num_threads() -> usize {
+    for var in ["MACGAME_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(raw) = std::env::var(var) {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` over `items` on up to `threads` scoped workers, preserving
+/// input order in the output.
+pub fn map_in_order<I, R, F>(items: Vec<I>, threads: usize, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let total = items.len();
+    let chunk_len = total.div_ceil(threads);
+    let mut chunks: Vec<(usize, Vec<I>)> = Vec::new();
+    let mut start = 0;
+    let mut rest = items;
+    while !rest.is_empty() {
+        let take = chunk_len.min(rest.len());
+        let tail = rest.split_off(take);
+        chunks.push((start, rest));
+        start += take;
+        rest = tail;
+    }
+
+    let f = &f;
+    let mut indexed: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(offset, chunk)| {
+                scope.spawn(move || (offset, chunk.into_iter().map(f).collect::<Vec<R>>()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon shim worker panicked")).collect()
+    });
+
+    indexed.sort_by_key(|(offset, _)| *offset);
+    indexed.into_iter().flat_map(|(_, results)| results).collect()
+}
+
+/// A materialized parallel iterator (possibly already mapped).
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> MappedParIter<T, F> {
+        MappedParIter { items: self.items, f }
+    }
+
+    /// Collects the items without further mapping.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A parallel iterator with a pending `map` stage.
+#[derive(Debug)]
+pub struct MappedParIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> MappedParIter<T, F> {
+    /// Executes the map on worker threads and collects in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        map_in_order(self.items, current_num_threads(), self.f).into_iter().collect()
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type of the iterator.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Types whose references yield a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type of the borrowed iterator.
+    type Item: Send;
+
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Glob-import module mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_in_order_preserves_order_across_thread_counts() {
+        let input: Vec<usize> = (0..103).collect();
+        let expect: Vec<usize> = input.iter().map(|x| x * 2).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let got = map_in_order(input.clone(), threads, |x| x * 2);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_iter_map_collect_matches_serial() {
+        let data = vec![1u32, 2, 3, 4, 5];
+        let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+        let owned: Vec<u32> = data.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(owned, vec![2, 3, 4, 5, 6]);
+        let range: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(range, vec![0, 1, 4, 9, 16]);
+    }
+}

@@ -1,0 +1,419 @@
+//! Offline shim for the subset of `serde` used by this workspace.
+//!
+//! The real serde abstracts over serializer backends; the only backend in
+//! this workspace is JSON, so the shim collapses the data model to a
+//! single in-memory [`Value`] tree:
+//!
+//! * [`Serialize`] renders `self` into a [`Value`];
+//! * [`Deserialize`] rebuilds `Self` from a [`Value`].
+//!
+//! `#[derive(Serialize, Deserialize)]` is provided by the companion
+//! `serde_derive` shim and supports the shapes this workspace uses:
+//! structs with named fields, newtype structs, and enums with unit or
+//! struct variants (externally tagged, like real serde).
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An in-memory JSON-like value: the single data model of the shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer (only used for negative values).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Builds an error describing an unexpected [`Value`] shape.
+    #[must_use]
+    pub fn unexpected(expected: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError(format!("expected {expected}, found {kind}"))
+    }
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Fetches a named field out of an object value (derive-macro helper).
+pub fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, DeError> {
+    match value {
+        Value::Object(_) => value
+            .get(name)
+            .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+        other => Err(DeError::unexpected("object", other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError(format!("integer {u} out of range"))),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("integer {i} out of range"))),
+                    other => Err(DeError::unexpected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        u64::from_value(value).and_then(|u| {
+            usize::try_from(u).map_err(|_| DeError(format!("integer {u} out of range")))
+        })
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("integer {i} out of range"))),
+                    Value::UInt(u) => i64::try_from(*u)
+                        .ok()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| DeError(format!("integer {u} out of range"))),
+                    other => Err(DeError::unexpected("signed integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        i64::from_value(value).and_then(|i| {
+            isize::try_from(i).map_err(|_| DeError(format!("integer {i} out of range")))
+        })
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(DeError::unexpected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Real serde deserializes `&str` zero-copy from borrowed input; the
+    /// shim's owned [`Value`] model cannot, so it leaks the string. Only
+    /// small diagnostic labels use this, so the leak is bounded.
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::unexpected("single-character string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::unexpected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| V::from_value(v).map(|v| (k.clone(), v)))
+                .collect(),
+            other => Err(DeError::unexpected("object", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) => {
+                        let expected = [$(stringify!($idx)),+].len();
+                        if items.len() != expected {
+                            return Err(DeError(format!(
+                                "expected {expected}-tuple, found array of {}",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::unexpected("array", other)),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple! {
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-3i32).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&String::from("hi").to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        let v: Vec<u8> = vec![1, 2, 3];
+        assert_eq!(Vec::<u8>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1u32, 2.5f64);
+        assert_eq!(<(u32, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+}

@@ -1,0 +1,454 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable in this offline build environment).
+//!
+//! Supported item shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype and general),
+//! * enums with unit and struct variants (externally tagged).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce
+//! a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("serde_derive shim generated invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips any number of outer attributes (`#[...]`), including doc
+    /// comments, which reach derive macros in attribute form.
+    fn skip_attributes(&mut self) {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.pos += 1;
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("serde shim derive: expected identifier, got {other:?}")),
+        }
+    }
+
+    /// Skips tokens until a top-level `,`, tracking `<...>` nesting so
+    /// commas inside generic arguments don't terminate the field type.
+    /// Returns false when the cursor is exhausted.
+    fn skip_type_until_comma(&mut self) -> bool {
+        let mut angle_depth: i32 = 0;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        self.pos += 1;
+                        return true;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+        false
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+
+    let kind = c.expect_ident()?;
+    let name = c.expect_ident()?;
+
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::NamedStruct(Vec::new()),
+            other => {
+                return Err(format!(
+                    "serde shim derive: unsupported struct body for `{name}`: {other:?}"
+                ))
+            }
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream(), &name)?)
+            }
+            other => {
+                return Err(format!(
+                    "serde shim derive: unsupported enum body for `{name}`: {other:?}"
+                ))
+            }
+        },
+        other => {
+            return Err(format!(
+                "serde shim derive supports structs and enums, got `{other}`"
+            ))
+        }
+    };
+
+    Ok(Item { name, shape })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        let field = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{field}`, got {other:?}"
+                ))
+            }
+        }
+        fields.push(field);
+        if !c.skip_type_until_comma() {
+            break;
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !c.skip_type_until_comma() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                c.pos += 1;
+                VariantFields::Named(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde shim derive: tuple variant `{enum_name}::{name}` is unsupported"
+                ));
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            c.pos += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantFields::Named(fields) => {
+                            let bind = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {bind} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Object(::std::vec![{}]))])",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(value, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::core::result::Result::Ok({name}({inits})),\n\
+                     other => ::core::result::Result::Err(\
+                         ::serde::DeError::unexpected(\"array of {n}\", other)),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.fields {
+                    VariantFields::Unit => {
+                        let vname = &v.name;
+                        Some(format!(
+                            "{vname:?} => ::core::result::Result::Ok({name}::{vname})"
+                        ))
+                    }
+                    VariantFields::Named(_) => None,
+                })
+                .collect();
+            let struct_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.fields {
+                    VariantFields::Unit => None,
+                    VariantFields::Named(fields) => {
+                        let vname = &v.name;
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::field(inner, {f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{vname:?} => ::core::result::Result::Ok({name}::{vname} {{ {} }})",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            let unit_match = if unit_arms.is_empty() {
+                String::from(
+                    "::core::result::Result::Err(::serde::DeError(::std::format!(\
+                     \"unknown variant `{s}`\")))",
+                )
+            } else {
+                format!(
+                    "match s.as_str() {{ {}, other => ::core::result::Result::Err(\
+                     ::serde::DeError(::std::format!(\"unknown variant `{{other}}`\"))) }}",
+                    unit_arms.join(", ")
+                )
+            };
+            let struct_match = if struct_arms.is_empty() {
+                String::from(
+                    "{ let _ = inner; ::core::result::Result::Err(::serde::DeError(\
+                     ::std::format!(\"unknown variant `{tag}`\"))) }",
+                )
+            } else {
+                format!(
+                    "match tag.as_str() {{ {}, other => ::core::result::Result::Err(\
+                     ::serde::DeError(::std::format!(\"unknown variant `{{other}}`\"))) }}",
+                    struct_arms.join(", ")
+                )
+            };
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(s) => {unit_match},\n\
+                     ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = (&pairs[0].0, &pairs[0].1);\n\
+                         {struct_match}\n\
+                     }}\n\
+                     other => ::core::result::Result::Err(\
+                         ::serde::DeError::unexpected(\"enum variant\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
