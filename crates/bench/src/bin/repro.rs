@@ -12,6 +12,7 @@ use macgame_bench::render::{text_table, write_artifact};
 use macgame_bench::{
     deviation_exp, extensions_exp, figures, multihop_exp, search_exp, tables, BenchError,
 };
+use macgame_conformance::{run_conformance, ConformanceSettings};
 use macgame_dcf::{AccessMode, MicroSecs};
 
 const EXPERIMENTS: &[&str] = &[
@@ -32,6 +33,7 @@ const EXPERIMENTS: &[&str] = &[
     "validate",
     "myopia",
     "bench-solver",
+    "conformance",
 ];
 
 fn main() {
@@ -74,6 +76,7 @@ fn main() {
             "validate" => validate(quick),
             "myopia" => myopia(),
             "bench-solver" => bench_solver(),
+            "conformance" => conformance(quick),
             _ => unreachable!(),
         };
         if let Err(e) = result {
@@ -626,4 +629,47 @@ fn myopia() -> Result<(), BenchError> {
     let path = write_artifact("myopia", &rows)?;
     println!("artifact: {}", path.display());
     Ok(())
+}
+
+fn conformance(quick: bool) -> Result<(), BenchError> {
+    let settings = if quick {
+        ConformanceSettings::quick()
+    } else {
+        ConformanceSettings::full()
+    };
+    println!(
+        "paper-conformance gate: analytic claims, golden snapshots, and \
+         {}-replica seed sweeps at {} slots (seed {})",
+        settings.replications, settings.slots, settings.base_seed
+    );
+    let report = run_conformance(&settings)?;
+    let body: Vec<Vec<String>> = report
+        .claims
+        .iter()
+        .map(|c| {
+            let mut detail: String = c.detail.lines().next().unwrap_or("").to_string();
+            if detail.chars().count() > 56 {
+                detail = detail.chars().take(53).collect::<String>() + "...";
+            }
+            vec![
+                c.name.clone(),
+                if c.pass { "pass".into() } else { "FAIL".into() },
+                format!("{:.4}", c.worst_relative_error),
+                format!("{:.4}", c.tolerance),
+                detail,
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(&["claim", "verdict", "worst rel err", "budget", "detail"], &body)
+    );
+    let path = write_artifact("CONFORMANCE", &report)?;
+    println!("artifact: {}", path.display());
+    println!(
+        "{}/{} claims pass",
+        report.claims.iter().filter(|c| c.pass).count(),
+        report.claims.len()
+    );
+    report.require_pass().map_err(BenchError::from)
 }

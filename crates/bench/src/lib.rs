@@ -35,6 +35,8 @@ pub enum BenchError {
     Io(std::io::Error),
     /// Artifact serialization error.
     Json(serde_json::Error),
+    /// Conformance-gate error (failing claims or fixture trouble).
+    Conformance(macgame_conformance::ConformanceError),
 }
 
 impl fmt::Display for BenchError {
@@ -46,6 +48,7 @@ impl fmt::Display for BenchError {
             BenchError::Multihop(e) => write!(f, "multihop error: {e}"),
             BenchError::Io(e) => write!(f, "io error: {e}"),
             BenchError::Json(e) => write!(f, "serialization error: {e}"),
+            BenchError::Conformance(e) => write!(f, "conformance error: {e}"),
         }
     }
 }
@@ -59,6 +62,7 @@ impl std::error::Error for BenchError {
             BenchError::Multihop(e) => Some(e),
             BenchError::Io(e) => Some(e),
             BenchError::Json(e) => Some(e),
+            BenchError::Conformance(e) => Some(e),
         }
     }
 }
@@ -96,5 +100,11 @@ impl From<std::io::Error> for BenchError {
 impl From<serde_json::Error> for BenchError {
     fn from(e: serde_json::Error) -> Self {
         BenchError::Json(e)
+    }
+}
+
+impl From<macgame_conformance::ConformanceError> for BenchError {
+    fn from(e: macgame_conformance::ConformanceError) -> Self {
+        BenchError::Conformance(e)
     }
 }

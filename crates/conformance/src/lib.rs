@@ -1,0 +1,149 @@
+//! Paper-conformance harness: continuously proves that the workspace still
+//! produces *the paper's numbers* (Chen & Leneutre, ICDCS 2007).
+//!
+//! Two pillars:
+//!
+//! * [`golden`] + [`fixtures`] — **golden snapshots**: checked-in JSON
+//!   under `tests/golden/` pinning the analytical artifacts (fixed-point
+//!   solutions, Theorem 2 NE intervals, the Section V.C search trajectory,
+//!   Section V.D/V.E deviation payoffs, Theorem 3 multihop convergence),
+//!   compared byte-for-byte against fresh solves. `UPDATE_GOLDEN=1` (or
+//!   `scripts/bless.sh`) regenerates them deterministically.
+//! * [`statistical`] — **statistical differential testing**: K
+//!   independently seeded slot-engine replicas per scenario, confidence
+//!   intervals for `τ̂`, `p̂`, `Ŝ`, and explicit per-quantity tolerance
+//!   budgets gating analytics-vs-simulation agreement (the Section VII.A
+//!   methodology, with honest error bars).
+//!
+//! [`report::run_conformance`] runs both pillars plus the analytic
+//! paper-value claims and returns a [`report::ConformanceReport`] whose
+//! serialization is byte-identical for every thread count — `repro --
+//! conformance` writes it to `artifacts/CONFORMANCE.json`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use core::fmt;
+
+pub mod fixtures;
+pub mod golden;
+pub mod report;
+pub mod statistical;
+
+pub use golden::{check_golden, golden_dir, golden_path};
+pub use report::{run_conformance, Claim, ConformanceReport, ConformanceSettings};
+pub use statistical::{statistical_claims, StatisticalClaim, ToleranceBudget};
+
+/// Errors surfaced by the conformance harness.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ConformanceError {
+    /// Analytical-model error.
+    Model(macgame_dcf::DcfError),
+    /// Simulator error.
+    Sim(macgame_sim::SimError),
+    /// Game-layer error.
+    Game(macgame_core::GameError),
+    /// Multi-hop layer error.
+    Multihop(macgame_multihop::MultihopError),
+    /// Filesystem error touching a golden fixture.
+    Io(std::io::Error),
+    /// Fixture serialization error.
+    Json(serde_json::Error),
+    /// A golden fixture is absent from `tests/golden/`.
+    MissingGolden {
+        /// Fixture name (file stem under `tests/golden/`).
+        name: String,
+        /// The path that was expected to exist.
+        path: std::path::PathBuf,
+    },
+    /// A fresh solve disagrees with its golden fixture.
+    Mismatch {
+        /// Fixture name (file stem under `tests/golden/`).
+        name: String,
+        /// Human-readable line diff, golden vs fresh.
+        diff: String,
+    },
+    /// One or more conformance claims failed their tolerance budgets.
+    ClaimsFailed {
+        /// Names of the failing claims.
+        failed: Vec<String>,
+    },
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformanceError::Model(e) => write!(f, "model error: {e}"),
+            ConformanceError::Sim(e) => write!(f, "simulation error: {e}"),
+            ConformanceError::Game(e) => write!(f, "game error: {e}"),
+            ConformanceError::Multihop(e) => write!(f, "multihop error: {e}"),
+            ConformanceError::Io(e) => write!(f, "io error: {e}"),
+            ConformanceError::Json(e) => write!(f, "serialization error: {e}"),
+            ConformanceError::MissingGolden { name, path } => write!(
+                f,
+                "golden fixture `{name}` missing at {}; run scripts/bless.sh \
+                 (or UPDATE_GOLDEN=1 cargo test) to create it",
+                path.display()
+            ),
+            ConformanceError::Mismatch { name, diff } => write!(
+                f,
+                "golden fixture `{name}` disagrees with the fresh solve — if the \
+                 change is intended, re-bless with scripts/bless.sh:\n{diff}"
+            ),
+            ConformanceError::ClaimsFailed { failed } => {
+                write!(f, "{} conformance claim(s) failed: {}", failed.len(), failed.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConformanceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConformanceError::Model(e) => Some(e),
+            ConformanceError::Sim(e) => Some(e),
+            ConformanceError::Game(e) => Some(e),
+            ConformanceError::Multihop(e) => Some(e),
+            ConformanceError::Io(e) => Some(e),
+            ConformanceError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<macgame_dcf::DcfError> for ConformanceError {
+    fn from(e: macgame_dcf::DcfError) -> Self {
+        ConformanceError::Model(e)
+    }
+}
+
+impl From<macgame_sim::SimError> for ConformanceError {
+    fn from(e: macgame_sim::SimError) -> Self {
+        ConformanceError::Sim(e)
+    }
+}
+
+impl From<macgame_core::GameError> for ConformanceError {
+    fn from(e: macgame_core::GameError) -> Self {
+        ConformanceError::Game(e)
+    }
+}
+
+impl From<macgame_multihop::MultihopError> for ConformanceError {
+    fn from(e: macgame_multihop::MultihopError) -> Self {
+        ConformanceError::Multihop(e)
+    }
+}
+
+impl From<std::io::Error> for ConformanceError {
+    fn from(e: std::io::Error) -> Self {
+        ConformanceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ConformanceError {
+    fn from(e: serde_json::Error) -> Self {
+        ConformanceError::Json(e)
+    }
+}

@@ -60,6 +60,7 @@ pub mod parallel;
 pub mod optimal;
 pub mod params;
 pub mod presets;
+pub mod record;
 pub mod throughput;
 pub mod units;
 pub mod utility;
@@ -72,5 +73,6 @@ pub use fixedpoint::{
 pub use parallel::{resolve_threads, solve_sweep, solve_sweep_cached};
 pub use optimal::{efficient_cw, ne_interval, optimal_tau, EfficientNe, NeInterval};
 pub use params::{AccessMode, DcfParams, DcfParamsBuilder, FrameParams, FrameTimings, PhyParams};
+pub use record::SolutionRecord;
 pub use units::{BitRate, Bits, MicroSecs};
 pub use utility::UtilityParams;

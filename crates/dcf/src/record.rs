@@ -1,0 +1,105 @@
+//! Serializable snapshot of one fixed-point solution.
+//!
+//! [`SolutionRecord`] packages everything a conformance fixture needs to
+//! pin a solve: the window profile, the solution `(τ, p)`, the implied
+//! normalized throughput, and the residual certificate. It deliberately
+//! excludes solver diagnostics (iteration counts) that legitimately drift
+//! when the solver internals change without changing the solution.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DcfError;
+use crate::fixedpoint::Equilibrium;
+use crate::params::DcfParams;
+use crate::throughput::normalized_throughput;
+
+/// One window profile's fixed-point solution in fixture form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolutionRecord {
+    /// The solved window profile.
+    pub windows: Vec<u32>,
+    /// Per-node transmission probabilities `τ_i`.
+    pub taus: Vec<f64>,
+    /// Per-node conditional collision probabilities `p_i`.
+    pub collision_probs: Vec<f64>,
+    /// Normalized saturation throughput `S` of the profile.
+    pub throughput: f64,
+    /// Max residual of Eqs. (2)–(3) at the solution — a quality
+    /// certificate that travels with the fixture.
+    pub residual: f64,
+}
+
+impl SolutionRecord {
+    /// Builds the record for `equilibrium`, which must have been solved
+    /// for exactly `windows` under `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcfError::InvalidParameter`] if `windows` disagrees in
+    /// length with the solution.
+    pub fn new(
+        windows: &[u32],
+        equilibrium: &Equilibrium,
+        params: &DcfParams,
+    ) -> Result<Self, DcfError> {
+        let residual = equilibrium.residual(windows, params)?;
+        Ok(SolutionRecord {
+            windows: windows.to_vec(),
+            taus: equilibrium.taus.clone(),
+            collision_probs: equilibrium.collision_probs.clone(),
+            throughput: normalized_throughput(&equilibrium.taus, params),
+            residual,
+        })
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether the profile is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixedpoint::{solve, SolveOptions};
+
+    #[test]
+    fn record_captures_solution_and_certificate() {
+        let params = DcfParams::default();
+        let windows = [32u32, 64, 128];
+        let eq = solve(&windows, &params, SolveOptions::default()).unwrap();
+        let record = SolutionRecord::new(&windows, &eq, &params).unwrap();
+        assert_eq!(record.windows, windows);
+        assert_eq!(record.taus, eq.taus);
+        assert_eq!(record.collision_probs, eq.collision_probs);
+        assert_eq!(record.len(), 3);
+        assert!(!record.is_empty());
+        assert!(record.residual < 1e-9, "residual {}", record.residual);
+        assert!(record.throughput > 0.0 && record.throughput < 1.0);
+    }
+
+    #[test]
+    fn record_rejects_mismatched_windows() {
+        let params = DcfParams::default();
+        let eq = solve(&[32, 32], &params, SolveOptions::default()).unwrap();
+        assert!(SolutionRecord::new(&[32, 32, 32], &eq, &params).is_err());
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let params = DcfParams::default();
+        let windows = [76u32; 5];
+        let eq = solve(&windows, &params, SolveOptions::default()).unwrap();
+        let record = SolutionRecord::new(&windows, &eq, &params).unwrap();
+        let json = serde_json::to_string(&record).unwrap();
+        let back: SolutionRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+    }
+}

@@ -61,6 +61,44 @@ impl Topology {
         Topology { adjacency }
     }
 
+    /// A path graph `0 − 1 − … − (n−1)`: the canonical chain topology of
+    /// the paper's multi-hop discussion, and the slowest-converging case
+    /// for TFT min-propagation (`diameter = n − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn line(n: usize) -> Self {
+        assert!(n > 0, "need at least one node");
+        Topology::from_adjacency((0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect())
+    }
+
+    /// A `rows × cols` 4-neighbor grid, row-major node numbering
+    /// (`node = r·cols + c`). Useful as a dense-but-not-complete fixture
+    /// between the line and the clique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        let mut lists = vec![Vec::new(); rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    lists[i].push(i + 1);
+                }
+                if r + 1 < rows {
+                    lists[i].push(i + cols);
+                }
+            }
+        }
+        Topology::from_adjacency(lists)
+    }
+
     /// Number of nodes.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -243,6 +281,42 @@ mod tests {
         let t = line(4);
         let d = t.bfs_distances(0);
         assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn line_constructor_matches_unit_disk_line() {
+        assert_eq!(Topology::line(4), line(4));
+        assert_eq!(Topology::line(5).diameter(), Some(4));
+        let single = Topology::line(1);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.degree(0), 0);
+    }
+
+    #[test]
+    fn grid_constructor_adjacency_and_diameter() {
+        let g = Topology::grid(2, 3);
+        assert_eq!(g.len(), 6);
+        // Corner, edge, and interior degrees of a 2×3 grid.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(1), &[0, 2, 4]);
+        assert_eq!(g.neighbors(4), &[1, 3, 5]);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(3));
+        // Degenerate grids collapse to lines.
+        assert_eq!(Topology::grid(1, 4), Topology::line(4));
+        assert_eq!(Topology::grid(4, 1), Topology::line(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_line_rejected() {
+        let _ = Topology::line(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn empty_grid_rejected() {
+        let _ = Topology::grid(0, 3);
     }
 
     #[test]

@@ -83,10 +83,28 @@ pub fn replicate(
     replications: usize,
     base_seed: u64,
 ) -> Result<Vec<StageReport>, SimError> {
+    replicate_threads(config, slots, replications, base_seed, 0)
+}
+
+/// [`replicate`] with an explicit worker count (`0` = the
+/// `MACGAME_THREADS` default). The reports do not depend on `threads`;
+/// the knob exists so determinism tests can pin the pool size without
+/// mutating the process environment.
+///
+/// # Errors
+///
+/// Propagates configuration failures.
+pub fn replicate_threads(
+    config: &SimConfig,
+    slots: u64,
+    replications: usize,
+    base_seed: u64,
+    threads: usize,
+) -> Result<Vec<StageReport>, SimError> {
     if replications == 0 {
         return Err(SimError::InvalidConfig("need at least one replication".into()));
     }
-    let threads = macgame_dcf::parallel::resolve_threads(0);
+    let threads = macgame_dcf::parallel::resolve_threads(threads);
     let seeds: Vec<u64> = (0..replications).map(|r| base_seed.wrapping_add(r as u64)).collect();
     let reports: Vec<Result<StageReport, SimError>> =
         rayon::map_in_order(seeds, threads, |seed| {
@@ -191,6 +209,16 @@ mod tests {
     fn zero_replications_rejected() {
         let config = SimConfig::builder().symmetric(2, 8).build().unwrap();
         assert!(replicate(&config, 100, 0, 0).is_err());
+    }
+
+    #[test]
+    fn replicate_is_thread_count_invariant() {
+        let config = SimConfig::builder().symmetric(4, 24).build().unwrap();
+        let one = replicate_threads(&config, 3_000, 5, 9, 1).unwrap();
+        let two = replicate_threads(&config, 3_000, 5, 9, 2).unwrap();
+        let eight = replicate_threads(&config, 3_000, 5, 9, 8).unwrap();
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod trace;
 pub mod traffic;
 pub mod validation;
 
-pub use batch::{replicate, Summary};
+pub use batch::{replicate, replicate_threads, Summary};
 pub use config::{SimConfig, SimConfigBuilder};
 pub use delay::DelayTracker;
 pub use engine::{Engine, SlotOutcome};
@@ -60,4 +60,7 @@ pub use observe::{estimate_windows, invert_window, WindowEstimate};
 pub use report::{ChannelCounts, StageReport};
 pub use trace::{Trace, TraceEvent};
 pub use traffic::TrafficModel;
-pub use validation::{validate_fixed_point, ValidationReport, ValidationRow};
+pub use validation::{
+    relative_error, validate_fixed_point, validate_fixed_point_sweep, QuantitySweep,
+    SweepReport, ValidationReport, ValidationRow,
+};

@@ -10,6 +10,7 @@ use macgame_dcf::throughput::normalized_throughput;
 use macgame_dcf::{DcfParams, UtilityParams};
 use serde::{Deserialize, Serialize};
 
+use crate::batch::{replicate_threads, Summary};
 use crate::config::SimConfig;
 use crate::engine::Engine;
 use crate::SimError;
@@ -31,21 +32,31 @@ pub struct ValidationRow {
     pub p_measured: f64,
 }
 
+/// `|measured − predicted| / |predicted|`, degrading to the absolute
+/// error when the prediction is zero (a zero prediction with a nonzero
+/// measurement would otherwise read as an infinite error).
+#[must_use]
+pub fn relative_error(measured: f64, predicted: f64) -> f64 {
+    if predicted == 0.0 {
+        measured.abs()
+    } else {
+        (measured - predicted).abs() / predicted.abs()
+    }
+}
+
 impl ValidationRow {
-    /// Relative error of the measured `τ̂`.
+    /// Relative error of the measured `τ̂` (absolute when the predicted
+    /// `τ` is zero).
     #[must_use]
     pub fn tau_relative_error(&self) -> f64 {
-        (self.tau_measured - self.tau_predicted).abs() / self.tau_predicted
+        relative_error(self.tau_measured, self.tau_predicted)
     }
 
-    /// Relative error of the measured `p̂`.
+    /// Relative error of the measured `p̂` (absolute when the predicted
+    /// `p` is zero, e.g. a single-node network).
     #[must_use]
     pub fn p_relative_error(&self) -> f64 {
-        if self.p_predicted == 0.0 {
-            self.p_measured
-        } else {
-            (self.p_measured - self.p_predicted).abs() / self.p_predicted
-        }
+        relative_error(self.p_measured, self.p_predicted)
     }
 }
 
@@ -75,11 +86,11 @@ impl ValidationReport {
         self.rows.iter().map(ValidationRow::p_relative_error).fold(0.0, f64::max)
     }
 
-    /// Relative throughput error.
+    /// Relative throughput error (absolute when the predicted throughput
+    /// is zero).
     #[must_use]
     pub fn throughput_relative_error(&self) -> f64 {
-        (self.throughput_measured - self.throughput_predicted).abs()
-            / self.throughput_predicted
+        relative_error(self.throughput_measured, self.throughput_predicted)
     }
 }
 
@@ -133,6 +144,137 @@ pub fn validate_fixed_point(
     })
 }
 
+/// One analytically predicted quantity with its replicated estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantitySweep {
+    /// Fixed-point prediction.
+    pub predicted: f64,
+    /// Mean / dispersion / CI of the per-replica measurements.
+    pub estimate: Summary,
+}
+
+impl QuantitySweep {
+    /// Relative error of the replica mean against the prediction
+    /// (absolute when the prediction is zero).
+    #[must_use]
+    pub fn relative_error(&self) -> f64 {
+        relative_error(self.estimate.mean, self.predicted)
+    }
+
+    /// Whether the 95 % CI around the replica mean covers the prediction.
+    #[must_use]
+    pub fn ci_covers_prediction(&self) -> bool {
+        self.estimate.covers(self.predicted)
+    }
+}
+
+/// Replicated analytics-vs-simulation comparison for one window profile:
+/// the Section VII.A methodology with K independently seeded replicas
+/// instead of a single run, so every claim carries a confidence interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// The validated window profile.
+    pub windows: Vec<u32>,
+    /// Slots per replica.
+    pub slots: u64,
+    /// Number of independently seeded replicas.
+    pub replications: usize,
+    /// Per-node `τ` prediction vs replicated `τ̂`.
+    pub taus: Vec<QuantitySweep>,
+    /// Per-node `p` prediction vs replicated `p̂`.
+    pub collision_probs: Vec<QuantitySweep>,
+    /// Normalized network throughput prediction vs replicated `Ŝ`.
+    pub throughput: QuantitySweep,
+}
+
+impl SweepReport {
+    /// Worst per-node relative error of the mean `τ̂`.
+    #[must_use]
+    pub fn max_tau_error(&self) -> f64 {
+        self.taus.iter().map(QuantitySweep::relative_error).fold(0.0, f64::max)
+    }
+
+    /// Worst per-node relative error of the mean `p̂`.
+    #[must_use]
+    pub fn max_p_error(&self) -> f64 {
+        self.collision_probs.iter().map(QuantitySweep::relative_error).fold(0.0, f64::max)
+    }
+
+    /// Relative error of the mean `Ŝ`.
+    #[must_use]
+    pub fn throughput_relative_error(&self) -> f64 {
+        self.throughput.relative_error()
+    }
+
+    /// Widest per-node 95 % CI half-width among the `τ̂` estimates.
+    #[must_use]
+    pub fn max_tau_ci_half_width(&self) -> f64 {
+        self.taus.iter().map(|q| q.estimate.ci95_half_width).fold(0.0, f64::max)
+    }
+
+    /// Widest per-node 95 % CI half-width among the `p̂` estimates.
+    #[must_use]
+    pub fn max_p_ci_half_width(&self) -> f64 {
+        self.collision_probs.iter().map(|q| q.estimate.ci95_half_width).fold(0.0, f64::max)
+    }
+}
+
+/// Runs `replications` independently seeded replicas of `slots` slots on
+/// `windows` (seeds `base_seed, base_seed+1, …`, fanned out over
+/// `threads` workers; `0` = the `MACGAME_THREADS` default) and compares
+/// the replicated `τ̂`, `p̂`, `Ŝ` estimates against the fixed point.
+///
+/// The report does not depend on `threads` — replicas own their engines
+/// and RNG streams, so the fan-out is bitwise thread-count invariant.
+///
+/// # Errors
+///
+/// Propagates configuration and solver failures.
+pub fn validate_fixed_point_sweep(
+    windows: &[u32],
+    params: &DcfParams,
+    slots: u64,
+    replications: usize,
+    base_seed: u64,
+    threads: usize,
+) -> Result<SweepReport, SimError> {
+    let eq = solve(windows, params, SolveOptions::default())?;
+    let config = SimConfig::builder()
+        .params(*params)
+        .utility(UtilityParams::default())
+        .windows(windows.to_vec())
+        .seed(base_seed)
+        .build()?;
+    let reports = replicate_threads(&config, slots, replications, base_seed, threads)?;
+    let per_node = |f: &dyn Fn(&crate::report::StageReport, usize) -> f64,
+                    predicted: &[f64]| {
+        (0..windows.len())
+            .map(|i| QuantitySweep {
+                predicted: predicted[i],
+                estimate: Summary::of(
+                    &reports.iter().map(|r| f(r, i)).collect::<Vec<f64>>(),
+                ),
+            })
+            .collect::<Vec<QuantitySweep>>()
+    };
+    let taus = per_node(&|r, i| r.tau_hat(i), &eq.taus);
+    let collision_probs = per_node(&|r, i| r.p_hat(i), &eq.collision_probs);
+    let throughput = QuantitySweep {
+        predicted: normalized_throughput(&eq.taus, params),
+        estimate: Summary::of(
+            &reports.iter().map(|r| r.throughput(params)).collect::<Vec<f64>>(),
+        ),
+    };
+    Ok(SweepReport {
+        windows: windows.to_vec(),
+        slots,
+        replications,
+        taus,
+        collision_probs,
+        throughput,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +316,91 @@ mod tests {
     fn rejects_bad_profiles() {
         assert!(validate_fixed_point(&[], &DcfParams::default(), 100, 0).is_err());
         assert!(validate_fixed_point(&[0, 4], &DcfParams::default(), 100, 0).is_err());
+    }
+
+    fn row(tau_pred: f64, tau_meas: f64, p_pred: f64, p_meas: f64) -> ValidationRow {
+        ValidationRow {
+            node: 0,
+            window: 32,
+            tau_predicted: tau_pred,
+            tau_measured: tau_meas,
+            p_predicted: p_pred,
+            p_measured: p_meas,
+        }
+    }
+
+    #[test]
+    fn tau_relative_error_on_hand_built_rows() {
+        assert!((row(0.10, 0.11, 0.5, 0.5).tau_relative_error() - 0.1).abs() < 1e-12);
+        assert!((row(0.10, 0.09, 0.5, 0.5).tau_relative_error() - 0.1).abs() < 1e-12);
+        assert_eq!(row(0.10, 0.10, 0.5, 0.5).tau_relative_error(), 0.0);
+    }
+
+    #[test]
+    fn tau_relative_error_zero_denominator_degrades_to_absolute() {
+        // A zero prediction must not divide: the error is the measurement.
+        let r = row(0.0, 0.02, 0.5, 0.5);
+        assert_eq!(r.tau_relative_error(), 0.02);
+        assert!(r.tau_relative_error().is_finite());
+        assert_eq!(row(0.0, 0.0, 0.5, 0.5).tau_relative_error(), 0.0);
+    }
+
+    #[test]
+    fn p_relative_error_on_hand_built_rows() {
+        assert!((row(0.2, 0.2, 0.40, 0.50).p_relative_error() - 0.25).abs() < 1e-12);
+        // Single-node networks predict p = 0; degrade to absolute error.
+        assert_eq!(row(0.2, 0.2, 0.0, 0.03).p_relative_error(), 0.03);
+        assert_eq!(row(0.2, 0.2, 0.0, 0.0).p_relative_error(), 0.0);
+    }
+
+    #[test]
+    fn throughput_relative_error_on_hand_built_reports() {
+        let base = ValidationReport {
+            rows: vec![],
+            throughput_predicted: 0.8,
+            throughput_measured: 0.72,
+            slots: 1,
+        };
+        assert!((base.throughput_relative_error() - 0.1).abs() < 1e-12);
+        let zero_pred = ValidationReport { throughput_predicted: 0.0, ..base.clone() };
+        assert_eq!(zero_pred.throughput_relative_error(), 0.72);
+        let exact = ValidationReport { throughput_measured: 0.8, ..base };
+        assert_eq!(exact.throughput_relative_error(), 0.0);
+    }
+
+    #[test]
+    fn max_errors_pick_the_worst_row() {
+        let report = ValidationReport {
+            rows: vec![row(0.10, 0.11, 0.5, 0.5), row(0.10, 0.13, 0.5, 0.6)],
+            throughput_predicted: 1.0,
+            throughput_measured: 1.0,
+            slots: 1,
+        };
+        assert!((report.max_tau_error() - 0.3).abs() < 1e-12);
+        assert!((report.max_p_error() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_validates_and_is_thread_count_invariant() {
+        let params = DcfParams::default();
+        let a = validate_fixed_point_sweep(&[76; 5], &params, 60_000, 4, 11, 1).unwrap();
+        let b = validate_fixed_point_sweep(&[76; 5], &params, 60_000, 4, 11, 4).unwrap();
+        assert_eq!(a, b, "sweep must not depend on the worker count");
+        assert_eq!(a.taus.len(), 5);
+        assert_eq!(a.replications, 4);
+        assert!(a.max_tau_error() < 0.08, "τ error {}", a.max_tau_error());
+        assert!(a.throughput_relative_error() < 0.05);
+        assert!(a.max_tau_ci_half_width() > 0.0);
+        assert!(a.max_p_ci_half_width() > 0.0);
+        for q in &a.taus {
+            assert_eq!(q.estimate.n, 4);
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_bad_input() {
+        let params = DcfParams::default();
+        assert!(validate_fixed_point_sweep(&[], &params, 100, 2, 0, 1).is_err());
+        assert!(validate_fixed_point_sweep(&[32; 2], &params, 100, 0, 0, 1).is_err());
     }
 }

@@ -1,0 +1,103 @@
+//! Error-path coverage: every rejected configuration must surface as the
+//! specific [`SimError`] variant with an actionable message.
+
+use macgame_sim::{Engine, SimConfig, SimError, TrafficModel};
+
+fn invalid_config_message(err: SimError) -> String {
+    match err {
+        SimError::InvalidConfig(msg) => msg,
+        other => panic!("expected SimError::InvalidConfig, got {other:?}"),
+    }
+}
+
+#[test]
+fn builder_rejects_empty_windows() {
+    let err = SimConfig::builder().windows(vec![]).build().unwrap_err();
+    assert_eq!(invalid_config_message(err), "need at least one node");
+}
+
+#[test]
+fn builder_rejects_zero_window() {
+    let err = SimConfig::builder().windows(vec![16, 0, 32]).build().unwrap_err();
+    assert_eq!(invalid_config_message(err), "contention windows must be at least 1");
+}
+
+#[test]
+fn builder_rejects_negative_poisson_rate() {
+    let err = SimConfig::builder()
+        .symmetric(2, 16)
+        .traffic(TrafficModel::Poisson { packets_per_second: -1.0 })
+        .build()
+        .unwrap_err();
+    assert_eq!(invalid_config_message(err), "arrival rate must be finite and non-negative");
+}
+
+#[test]
+fn builder_rejects_non_finite_poisson_rate() {
+    for bad in [f64::NAN, f64::INFINITY] {
+        let err = SimConfig::builder()
+            .symmetric(2, 16)
+            .traffic(TrafficModel::Poisson { packets_per_second: bad })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "rate {bad}: {err:?}");
+    }
+}
+
+#[test]
+fn set_windows_rejects_wrong_profile_length() {
+    let config = SimConfig::builder().symmetric(3, 32).build().unwrap();
+    let mut engine = Engine::new(&config);
+    let err = engine.set_windows(&[16, 16]).unwrap_err();
+    assert_eq!(invalid_config_message(err), "profile has 2 entries for 3 nodes");
+    let err = engine.set_windows(&[16; 4]).unwrap_err();
+    assert_eq!(invalid_config_message(err), "profile has 4 entries for 3 nodes");
+}
+
+#[test]
+fn set_windows_rejects_zero_window() {
+    let config = SimConfig::builder().symmetric(3, 32).build().unwrap();
+    let mut engine = Engine::new(&config);
+    let err = engine.set_windows(&[16, 0, 16]).unwrap_err();
+    assert_eq!(invalid_config_message(err), "contention windows must be at least 1");
+}
+
+#[test]
+fn set_windows_failure_leaves_engine_usable() {
+    let config = SimConfig::builder().symmetric(2, 32).seed(3).build().unwrap();
+    let mut engine = Engine::new(&config);
+    assert!(engine.set_windows(&[8, 0]).is_err());
+    // The failed update must not have corrupted any node state: the run
+    // matches a fresh engine that never saw the bad profile.
+    let report = engine.run_slots(2_000);
+    let fresh = Engine::new(&config).run_slots(2_000);
+    assert_eq!(report, fresh);
+}
+
+#[test]
+fn set_window_rejects_out_of_range_node() {
+    let config = SimConfig::builder().symmetric(2, 32).build().unwrap();
+    let mut engine = Engine::new(&config);
+    let err = engine.set_window(2, 16).unwrap_err();
+    assert_eq!(invalid_config_message(err), "node 2 out of range");
+    let err = engine.set_window(usize::MAX, 16).unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig(_)));
+}
+
+#[test]
+fn set_window_rejects_zero_window() {
+    let config = SimConfig::builder().symmetric(2, 32).build().unwrap();
+    let mut engine = Engine::new(&config);
+    let err = engine.set_window(0, 0).unwrap_err();
+    assert_eq!(invalid_config_message(err), "contention windows must be at least 1");
+}
+
+#[test]
+fn valid_updates_still_succeed_after_rejections() {
+    let config = SimConfig::builder().symmetric(2, 32).build().unwrap();
+    let mut engine = Engine::new(&config);
+    assert!(engine.set_windows(&[0, 0]).is_err());
+    assert!(engine.set_window(5, 8).is_err());
+    engine.set_windows(&[64, 64]).unwrap();
+    engine.set_window(1, 128).unwrap();
+}

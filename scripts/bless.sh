@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the golden conformance fixtures under tests/golden/.
+#
+# The fixtures pin the analytical artifacts (fixed-point solutions,
+# Theorem 2 NE intervals, the Section V.C search trajectory, deviation
+# payoffs, multi-hop convergence traces) byte-for-byte. Run this after an
+# *intended* change to the analytical model, inspect `git diff
+# tests/golden/`, and commit the new fixtures together with the change
+# that motivated them.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> regenerating tests/golden/ (UPDATE_GOLDEN=1)"
+UPDATE_GOLDEN=1 cargo test -q --test conformance_golden
+
+echo "==> verifying the fresh fixtures round-trip"
+cargo test -q --test conformance_golden
+
+echo "==> blessed fixtures:"
+git status --short tests/golden/ || true
+echo "Inspect 'git diff tests/golden/' before committing."

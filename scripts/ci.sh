@@ -14,6 +14,9 @@ cargo test -q
 echo "==> cargo test -q --release --workspace"
 cargo test -q --release --workspace
 
+echo "==> paper-conformance gate (repro -- conformance --quick)"
+cargo run --release -p macgame-bench --bin repro -- conformance --quick
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

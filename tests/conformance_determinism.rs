@@ -1,0 +1,23 @@
+//! Thread-count determinism of the conformance gate: the serialized
+//! report — the exact bytes `repro -- conformance` writes to
+//! `artifacts/CONFORMANCE.json` — must be identical whether the seed
+//! sweep fans out over 1, 2, or 8 workers.
+
+use macgame_conformance::{run_conformance, ConformanceSettings};
+
+#[test]
+fn report_bytes_are_identical_across_thread_counts() {
+    let render = |threads: usize| {
+        let settings =
+            ConformanceSettings { slots: 10_000, replications: 3, base_seed: 2007, threads };
+        let report = run_conformance(&settings).unwrap();
+        serde_json::to_string_pretty(&report).unwrap()
+    };
+    let single = render(1);
+    assert_eq!(single, render(2), "threads=2 changed the report bytes");
+    assert_eq!(single, render(8), "threads=8 changed the report bytes");
+    // The settings that produced the numbers are recorded; the thread
+    // count deliberately is not.
+    assert!(single.contains("\"slots\": 10000"));
+    assert!(!single.contains("threads"));
+}

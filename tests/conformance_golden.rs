@@ -1,0 +1,78 @@
+//! Golden-snapshot conformance: every analytical artifact the paper pins
+//! down is compared byte-for-byte against its checked-in fixture under
+//! `tests/golden/`.
+//!
+//! Regenerate fixtures with `scripts/bless.sh` (or
+//! `UPDATE_GOLDEN=1 cargo test --test conformance_golden`).
+
+use macgame_conformance::fixtures::{
+    deviation_golden, fixed_point_golden, multihop_golden, ne_intervals_golden, search_golden,
+};
+use macgame_conformance::golden::bless_requested;
+use macgame_conformance::{check_golden, golden_path, ConformanceError};
+
+#[test]
+fn fixed_point_matches_golden() {
+    check_golden("fixed_point", &fixed_point_golden().unwrap()).unwrap();
+}
+
+#[test]
+fn ne_intervals_match_golden() {
+    check_golden("ne_intervals", &ne_intervals_golden().unwrap()).unwrap();
+}
+
+#[test]
+fn search_trajectory_matches_golden() {
+    check_golden("search", &search_golden().unwrap()).unwrap();
+}
+
+#[test]
+fn deviation_payoffs_match_golden() {
+    check_golden("deviation", &deviation_golden().unwrap()).unwrap();
+}
+
+#[test]
+fn multihop_convergence_matches_golden() {
+    check_golden("multihop", &multihop_golden().unwrap()).unwrap();
+}
+
+/// A perturbed solve must fail with a diff a human can act on — the
+/// failure mode the harness exists for. (Skipped while blessing, so the
+/// perturbed value can never overwrite the real fixture.)
+#[test]
+fn perturbed_solution_fails_with_readable_diff() {
+    if bless_requested() {
+        return;
+    }
+    let mut perturbed = fixed_point_golden().unwrap();
+    perturbed.basic[0].taus[0] *= 1.0 + 1e-6;
+    let err = check_golden("fixed_point", &perturbed).unwrap_err();
+    match &err {
+        ConformanceError::Mismatch { name, diff } => {
+            assert_eq!(name, "fixed_point");
+            assert!(diff.contains("line "), "diff lacks line numbers: {diff}");
+            assert!(diff.contains("- golden:"), "diff lacks golden side: {diff}");
+            assert!(diff.contains("+ fresh:"), "diff lacks fresh side: {diff}");
+        }
+        other => panic!("expected Mismatch, got {other}"),
+    }
+    let message = err.to_string();
+    assert!(message.contains("scripts/bless.sh"), "no re-bless hint: {message}");
+}
+
+/// A fixture that was never blessed reports *how* to create it.
+#[test]
+fn missing_fixture_points_at_bless_script() {
+    if bless_requested() {
+        return;
+    }
+    let err = check_golden("no_such_fixture", &42u32).unwrap_err();
+    match &err {
+        ConformanceError::MissingGolden { name, path } => {
+            assert_eq!(name, "no_such_fixture");
+            assert_eq!(*path, golden_path("no_such_fixture"));
+        }
+        other => panic!("expected MissingGolden, got {other}"),
+    }
+    assert!(err.to_string().contains("UPDATE_GOLDEN=1"));
+}

@@ -1,0 +1,50 @@
+//! Statistical analytics-vs-simulation conformance: seed-swept slot-engine
+//! replicas must agree with the fixed-point predictions inside the
+//! per-quantity tolerance budgets (paper Section VII.A).
+//!
+//! Budgets are calibrated to roughly twice the worst error observed at
+//! these settings, so a pass is meaningful and a failure is drift, not
+//! noise.
+
+use macgame_conformance::{statistical_claims, ConformanceSettings, ToleranceBudget};
+
+fn test_settings() -> ConformanceSettings {
+    // Debug-build friendly: enough slots for the estimators to settle,
+    // few enough to keep tier-1 fast.
+    ConformanceSettings { slots: 40_000, replications: 4, base_seed: 2007, threads: 0 }
+}
+
+#[test]
+fn every_scenario_meets_its_tolerance_budget() {
+    let claims = statistical_claims(&test_settings(), &ToleranceBudget::paper()).unwrap();
+    assert_eq!(claims.len(), 9, "3 scenarios × (tau, p, throughput)");
+    for c in &claims {
+        assert!(
+            c.pass,
+            "{}: relative error {:.4} exceeds budget {:.4} (CI half-width {:.2e})",
+            c.name, c.worst_relative_error, c.tolerance, c.max_ci_half_width
+        );
+        assert!(c.max_ci_half_width.is_finite(), "{}: CI undefined", c.name);
+    }
+}
+
+#[test]
+fn estimates_are_genuinely_statistical() {
+    let claims = statistical_claims(&test_settings(), &ToleranceBudget::paper()).unwrap();
+    // A simulator cannot agree with the model exactly; all-zero errors
+    // would mean the sweep is comparing the prediction to itself.
+    assert!(
+        claims.iter().any(|c| c.worst_relative_error > 0.0),
+        "every relative error is exactly zero — the sweep is not simulating"
+    );
+}
+
+#[test]
+fn absurd_budget_fails_the_gate() {
+    let impossibly_tight = ToleranceBudget { tau: 1e-9, p: 1e-9, throughput: 1e-9 };
+    let claims = statistical_claims(&test_settings(), &impossibly_tight).unwrap();
+    assert!(
+        claims.iter().any(|c| !c.pass),
+        "a 1e-9 budget must fail: Monte-Carlo estimates are never that exact"
+    );
+}

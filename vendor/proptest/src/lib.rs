@@ -4,10 +4,20 @@
 //! `prop_map`, `prop_oneof!`, `prop::collection::vec`), the `proptest!`
 //! macro, `prop_assert!`/`prop_assert_eq!`, and [`ProptestConfig`].
 //!
-//! Differences from real proptest: no shrinking, no persisted failure
-//! regressions — each case is generated from a deterministic per-test
-//! RNG (seeded from the test name), so failures reproduce exactly on
-//! rerun.
+//! Differences from real proptest: no shrinking — each case is generated
+//! from a deterministic per-test RNG (seeded from the test name), so
+//! failures reproduce exactly on rerun.
+//!
+//! # Failure persistence
+//!
+//! Like real proptest, the shim keeps a `<test file>.proptest-regressions`
+//! sidecar next to each test source file. Every `cc <hex>` line names an
+//! RNG state; before generating novel cases, each persisted state is
+//! replayed for every test in the file (inputs a state generates for one
+//! test are arbitrary-but-valid inputs for the others too). When a novel
+//! case fails, the shim appends the pre-case state to the sidecar so the
+//! failure re-runs first on every subsequent invocation — check the file
+//! in so the whole team replays it.
 
 #![warn(missing_docs)]
 
@@ -30,6 +40,19 @@ impl TestRng {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
         TestRng { state: h }
+    }
+
+    /// Creates a generator from a raw state word (a persisted regression).
+    #[must_use]
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    /// The current raw state word; feed to [`TestRng::from_state`] to
+    /// replay everything generated from this point.
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
     }
 
     /// Returns the next pseudo-random word.
@@ -290,6 +313,93 @@ impl ProptestConfig {
     }
 }
 
+/// Reading and writing `.proptest-regressions` sidecar files.
+///
+/// The format mirrors real proptest: comment lines start with `#`, and
+/// each persisted case is `cc <hex> [# note]`. The shim interprets the
+/// first 16 hex digits of the token as a [`TestRng`] state word (longer
+/// tokens, e.g. hashes written by real proptest, are truncated — they
+/// still replay as valid, deterministic inputs).
+pub mod persistence {
+    use std::path::{Path, PathBuf};
+
+    /// Resolves the sidecar path for a test source file.
+    ///
+    /// `source` is what `file!()` produced at the call site — relative to
+    /// the workspace root — while tests run with the *package* root as
+    /// their working directory. Leading path components are stripped until
+    /// a candidate's parent directory exists, so both layouts (and an
+    /// absolute path) resolve to `tests/<name>.proptest-regressions`.
+    #[must_use]
+    pub fn sidecar_path(source: &str) -> Option<PathBuf> {
+        let sidecar = Path::new(source).with_extension("proptest-regressions");
+        let mut candidate = sidecar.as_path();
+        loop {
+            if candidate.parent().is_some_and(Path::exists) {
+                return Some(candidate.to_path_buf());
+            }
+            let mut components = candidate.components();
+            components.next()?;
+            let stripped = components.as_path();
+            if stripped.as_os_str().is_empty() {
+                return None;
+            }
+            candidate = stripped;
+        }
+    }
+
+    /// Loads every persisted RNG state from the sidecar of `source`.
+    /// Missing or unreadable files are simply an empty list.
+    #[must_use]
+    pub fn load(source: &str) -> Vec<u64> {
+        let Some(path) = sidecar_path(source) else {
+            return Vec::new();
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        let mut states = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix("cc ") else {
+                continue;
+            };
+            let token = rest.split_whitespace().next().unwrap_or("");
+            let hex: String = token.chars().take(16).collect();
+            if !hex.is_empty() {
+                if let Ok(state) = u64::from_str_radix(&hex, 16) {
+                    states.push(state);
+                }
+            }
+        }
+        states
+    }
+
+    /// Appends a failing case's RNG state to the sidecar (best effort:
+    /// filesystem errors are swallowed — the panic itself still surfaces).
+    /// Returns the path written, for the failure message.
+    pub fn save(source: &str, state: u64, test_name: &str) -> Option<PathBuf> {
+        let path = sidecar_path(source)?;
+        if load(source).contains(&state) {
+            return Some(path); // already persisted; keep the file tidy
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap_or_default();
+        if text.is_empty() {
+            text.push_str(
+                "# Seeds for failure cases proptest has generated in the past. It is\n\
+                 # automatically read and these particular cases re-run before any\n\
+                 # novel cases are generated.\n\
+                 #\n\
+                 # It is recommended to check this file in to source control so that\n\
+                 # everyone who runs the test benefits from these saved cases.\n",
+            );
+        }
+        text.push_str(&format!("cc {state:016x} # failing RNG state of {test_name}\n"));
+        std::fs::write(&path, text).ok()?;
+        Some(path)
+    }
+}
+
 /// Everything tests import via `use proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
@@ -354,12 +464,37 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
-                let mut rng = $crate::TestRng::from_name(concat!(
-                    module_path!(), "::", stringify!($name)
-                ));
-                for _case in 0..config.cases {
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                let source = file!();
+                // Persisted regressions replay before any novel case.
+                for state in $crate::persistence::load(source) {
+                    let mut rng = $crate::TestRng::from_state(state);
                     $( let $arg = $crate::Strategy::generate(&$strategy, &mut rng); )+
                     $body
+                }
+                let mut rng = $crate::TestRng::from_name(test_name);
+                for _case in 0..config.cases {
+                    let pre_case_state = rng.state();
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            $( let $arg = $crate::Strategy::generate(&$strategy, &mut rng); )+
+                            $body
+                        }),
+                    );
+                    if let Err(panic) = outcome {
+                        match $crate::persistence::save(source, pre_case_state, test_name) {
+                            Some(path) => eprintln!(
+                                "proptest: persisted failing case `cc {:016x}` to {}",
+                                pre_case_state,
+                                path.display(),
+                            ),
+                            None => eprintln!(
+                                "proptest: could not persist failing case `cc {:016x}`",
+                                pre_case_state,
+                            ),
+                        }
+                        ::std::panic::resume_unwind(panic);
+                    }
                 }
             }
         )*
@@ -415,5 +550,53 @@ mod tests {
         let mut a = TestRng::from_name("x");
         let mut b = TestRng::from_name("x");
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn state_roundtrips_through_from_state() {
+        let mut a = TestRng::from_name("y");
+        a.next_u64();
+        let mut b = TestRng::from_state(a.state());
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn persistence_save_then_load_roundtrips() {
+        let src = std::env::temp_dir().join("proptest_shim_roundtrip_test.rs");
+        let src = src.to_str().unwrap().to_owned();
+        let sidecar = crate::persistence::sidecar_path(&src).unwrap();
+        let _ = std::fs::remove_file(&sidecar);
+
+        assert!(crate::persistence::load(&src).is_empty());
+        let written = crate::persistence::save(&src, 0xdead_beef_0042, "shim::t").unwrap();
+        assert_eq!(written, sidecar);
+        assert_eq!(crate::persistence::load(&src), vec![0xdead_beef_0042]);
+        // Saving the same state twice keeps a single entry.
+        crate::persistence::save(&src, 0xdead_beef_0042, "shim::t").unwrap();
+        assert_eq!(crate::persistence::load(&src), vec![0xdead_beef_0042]);
+
+        std::fs::remove_file(&sidecar).unwrap();
+    }
+
+    #[test]
+    fn persistence_parses_real_proptest_hashes() {
+        let src = std::env::temp_dir().join("proptest_shim_hash_parse_test.rs");
+        let src = src.to_str().unwrap().to_owned();
+        let sidecar = crate::persistence::sidecar_path(&src).unwrap();
+        // Real proptest writes 64-hex-digit hashes; the shim truncates the
+        // token to its first 16 digits. Comments and blank lines are skipped.
+        std::fs::write(
+            &sidecar,
+            "# header comment\n\
+             \n\
+             cc c89d056c36a96ec3599de9236dd0a0fe9cf1024a7a71900ab1a1b360dd8b18bc # shrinks to w = 1\n\
+             cc 00000000000000ff\n",
+        )
+        .unwrap();
+        assert_eq!(
+            crate::persistence::load(&src),
+            vec![0xc89d_056c_36a9_6ec3, 0x0000_0000_0000_00ff]
+        );
+        std::fs::remove_file(&sidecar).unwrap();
     }
 }

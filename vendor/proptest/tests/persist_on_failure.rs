@@ -1,0 +1,38 @@
+//! End-to-end check that a failing novel case is appended to the sidecar.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1))]
+
+    fn always_fails(w in 1u32..10) {
+        prop_assert!(w > 100, "forced failure for persistence test");
+    }
+}
+
+#[test]
+fn failing_case_is_persisted_then_replayed_first() {
+    let source = file!();
+    let sidecar = proptest::persistence::sidecar_path(source).unwrap();
+    let _ = std::fs::remove_file(&sidecar);
+
+    // First run: the single novel case fails and its pre-case RNG state is
+    // appended to the sidecar before the panic propagates.
+    assert!(std::panic::catch_unwind(always_fails).is_err());
+    let saved = proptest::persistence::load(source);
+    assert_eq!(
+        saved,
+        vec![TestRng::from_name("persist_on_failure::always_fails").state()],
+        "pre-case state of the first novel case should be persisted"
+    );
+
+    // Second run: the persisted case replays first and fails immediately.
+    assert!(std::panic::catch_unwind(always_fails).is_err());
+    assert_eq!(
+        proptest::persistence::load(source).len(),
+        1,
+        "replay failures must not duplicate the persisted entry"
+    );
+
+    std::fs::remove_file(&sidecar).unwrap();
+}

@@ -1,0 +1,23 @@
+//! End-to-end check that persisted regressions replay before novel cases.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static RUNS: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    fn counted(w in 1u32..10) {
+        RUNS.fetch_add(1, Ordering::SeqCst);
+        prop_assert!((1..10).contains(&w));
+    }
+}
+
+#[test]
+fn replays_persisted_cases_before_novel_ones() {
+    counted();
+    // The checked-in sidecar holds 2 `cc` lines; with cases = 3 the body
+    // must run exactly 2 + 3 times.
+    assert_eq!(RUNS.load(Ordering::SeqCst), 5);
+}
