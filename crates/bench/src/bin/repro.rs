@@ -8,9 +8,10 @@
 //! Each experiment prints its paper-vs-measured comparison and writes a
 //! JSON artifact under `artifacts/`.
 
-use macgame_bench::render::{text_table, write_artifact};
+use macgame_bench::render::{text_table, write_artifact, write_raw_artifact};
 use macgame_bench::{
-    deviation_exp, extensions_exp, figures, multihop_exp, search_exp, tables, BenchError,
+    deviation_exp, extensions_exp, figures, multihop_exp, profile_exp, search_exp, tables,
+    BenchError,
 };
 use macgame_conformance::{run_conformance, ConformanceSettings};
 use macgame_dcf::{AccessMode, MicroSecs};
@@ -34,6 +35,7 @@ const EXPERIMENTS: &[&str] = &[
     "myopia",
     "bench-solver",
     "conformance",
+    "profile",
 ];
 
 fn main() {
@@ -77,6 +79,7 @@ fn main() {
             "myopia" => myopia(),
             "bench-solver" => bench_solver(),
             "conformance" => conformance(quick),
+            "profile" => profile(quick),
             _ => unreachable!(),
         };
         if let Err(e) = result {
@@ -672,4 +675,27 @@ fn conformance(quick: bool) -> Result<(), BenchError> {
         report.claims.len()
     );
     report.require_pass().map_err(BenchError::from)
+}
+
+fn profile(quick: bool) -> Result<(), BenchError> {
+    let settings = if quick {
+        profile_exp::ProfileSettings::quick()
+    } else {
+        profile_exp::ProfileSettings::full()
+    };
+    println!(
+        "deterministic telemetry profile of the instrumented workspace \
+         ({} workload)",
+        if quick { "quick" } else { "full" }
+    );
+    let snapshot = profile_exp::run_profile(settings)?;
+    let rows = profile_exp::profile_table(&snapshot);
+    println!("{}", text_table(&["kind", "metric", "value"], &rows));
+    let path = write_raw_artifact("TELEMETRY", &snapshot.to_json())?;
+    println!("artifact: {}", path.display());
+    println!(
+        "note: every section except \"timings\" is byte-identical across \
+         MACGAME_THREADS settings"
+    );
+    Ok(())
 }

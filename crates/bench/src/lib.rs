@@ -13,6 +13,7 @@ pub mod deviation_exp;
 pub mod extensions_exp;
 pub mod figures;
 pub mod multihop_exp;
+pub mod profile_exp;
 pub mod render;
 pub mod search_exp;
 pub mod tables;

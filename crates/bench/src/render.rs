@@ -56,6 +56,22 @@ pub fn write_artifact<T: Serialize>(name: &str, value: &T) -> Result<PathBuf, Be
     Ok(path)
 }
 
+/// Writes an already-rendered artifact under `artifacts/`, creating the
+/// directory. Used for payloads that control their own byte-exact layout
+/// (e.g. the telemetry snapshot, whose non-`timings` bytes are compared
+/// across thread counts).
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] on filesystem failures.
+pub fn write_raw_artifact(name: &str, contents: &str) -> Result<PathBuf, BenchError> {
+    let dir = Path::new("artifacts");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, contents)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

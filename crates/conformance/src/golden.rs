@@ -86,7 +86,7 @@ pub fn check_golden<T: Serialize + ?Sized>(
 
 /// Line-oriented diff of two fixture renderings: every differing line is
 /// quoted with its 1-based line number, `-` for the golden side and `+`
-/// for the fresh side, truncated after [`DIFF_LINE_CAP`] differences.
+/// for the fresh side, truncated after `DIFF_LINE_CAP` differences.
 #[must_use]
 pub fn diff_lines(golden: &str, fresh: &str) -> String {
     let golden_lines: Vec<&str> = golden.lines().collect();

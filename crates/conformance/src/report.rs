@@ -14,6 +14,7 @@ use macgame_dcf::params::AccessMode;
 use macgame_dcf::{DcfParams, UtilityParams};
 use macgame_multihop::convergence::tft_converge;
 use macgame_multihop::Topology;
+use macgame_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::fixtures::{
@@ -271,6 +272,7 @@ fn golden_claims() -> Result<Vec<Claim>, ConformanceError> {
 pub fn run_conformance(
     settings: &ConformanceSettings,
 ) -> Result<ConformanceReport, ConformanceError> {
+    let _span = telemetry::span("conformance.run");
     let mut claims = analytic_claims()?;
     claims.extend(golden_claims()?);
     let budget = ToleranceBudget::paper();
@@ -282,6 +284,7 @@ pub fn run_conformance(
             format!("95% CI half-width ≤ {:.2e}", c.max_ci_half_width),
         )
     }));
+    telemetry::counter("conformance.claims", claims.len() as u64);
     Ok(ConformanceReport {
         slots: settings.slots,
         replications: settings.replications,

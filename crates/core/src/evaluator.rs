@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use macgame_dcf::cache::canonicalize;
+use macgame_telemetry as telemetry;
 use macgame_dcf::fixedpoint::{solve, SolveOptions};
 use macgame_dcf::utility::all_utilities;
 use macgame_sim::{estimate_windows, Engine, SimConfig};
@@ -269,6 +270,7 @@ impl<E: StageEvaluator> StageEvaluator for CachingEvaluator<E> {
             match hit {
                 Some(outcome) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter("core.evaluator.hits", 1);
                     outcome
                 }
                 None => {
@@ -281,10 +283,12 @@ impl<E: StageEvaluator> StageEvaluator for CachingEvaluator<E> {
                     match map.entry(key) {
                         Entry::Occupied(existing) => {
                             self.hits.fetch_add(1, Ordering::Relaxed);
+                            telemetry::counter("core.evaluator.hits", 1);
                             Arc::clone(existing.get())
                         }
                         Entry::Vacant(slot) => {
                             self.misses.fetch_add(1, Ordering::Relaxed);
+                            telemetry::counter("core.evaluator.misses", 1);
                             slot.insert(Arc::clone(&outcome));
                             outcome
                         }

@@ -17,6 +17,7 @@
 
 use macgame_dcf::MicroSecs;
 use macgame_sim::{Engine, SimConfig};
+use macgame_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::deviation::{deviator_stage, symmetric_stage};
@@ -224,6 +225,8 @@ pub fn run_search(
     } else {
         SearchDirection::Stationary
     };
+    telemetry::counter("core.search.runs", 1);
+    telemetry::counter("core.search.measurements", trace.len() as u64);
     Ok(SearchOutcome { w_m: current, direction, trace, messages })
 }
 

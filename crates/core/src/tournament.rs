@@ -7,6 +7,7 @@
 //! game, and are ranked by total discounted payoff.
 
 use macgame_dcf::parallel::resolve_threads;
+use macgame_telemetry as telemetry;
 
 use crate::error::GameError;
 use crate::evaluator::AnalyticalEvaluator;
@@ -114,6 +115,8 @@ pub fn round_robin(
         .build()?;
     let n = entrants.len();
     let pairs: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
+    telemetry::counter("core.tournament.matches", pairs.len() as u64);
+    let _span = telemetry::span("core.tournament.round_robin");
     let played: Vec<Result<f64, GameError>> =
         rayon::map_in_order(pairs, resolve_threads(0), |(i, j)| {
             let players: Vec<Box<dyn Strategy>> =

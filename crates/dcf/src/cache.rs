@@ -17,6 +17,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use macgame_telemetry as telemetry;
+
 use crate::error::DcfError;
 use crate::fixedpoint::{solve, Equilibrium, SolveOptions};
 use crate::params::DcfParams;
@@ -99,6 +101,7 @@ impl SolveCache {
     fn solve_canonical(&self, sorted: Vec<u32>) -> Result<Arc<Equilibrium>, DcfError> {
         if let Some(hit) = self.map.read().expect("cache lock poisoned").get(&sorted) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter("dcf.cache.hits", 1);
             return Ok(Arc::clone(hit));
         }
         // Solve outside the write lock: concurrent misses on the same key
@@ -109,10 +112,12 @@ impl SolveCache {
         match map.entry(sorted) {
             Entry::Occupied(existing) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("dcf.cache.hits", 1);
                 Ok(Arc::clone(existing.get()))
             }
             Entry::Vacant(slot) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("dcf.cache.misses", 1);
                 slot.insert(Arc::clone(&solved));
                 Ok(solved)
             }

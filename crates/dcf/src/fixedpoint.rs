@@ -14,6 +14,7 @@
 //! guaranteed, fast solution — this is the path the equilibrium machinery
 //! hammers.
 
+use macgame_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::error::DcfError;
@@ -191,6 +192,12 @@ pub fn solve_with_guess(
         }
         None => windows.iter().map(|&w| 2.0 / (f64::from(w) + 1.0)).collect(),
     };
+    telemetry::counter("dcf.solver.solves", 1);
+    if guess.is_some() {
+        telemetry::counter("dcf.solver.warm_starts", 1);
+    }
+    let mut damped_sweeps: u64 = 0;
+    let mut accel_sweeps: u64 = 0;
     let mut residual = f64::INFINITY;
     // Two-phase iteration. Far from the fixed point the damped map is
     // needed for stability, but its `(1−d)`-dominated linear rate makes
@@ -229,6 +236,11 @@ pub fn solve_with_guess(
             accel = true;
         }
         prev_raw = raw;
+        if accel {
+            accel_sweeps += 1;
+        } else {
+            damped_sweeps += 1;
+        }
         let next: Vec<f64> = if accel {
             // Anderson(1): with f_k = G(x_k) − x_k, pick β minimizing the
             // linearized residual of β·f_{k−1} + (1−β)·f_k and combine the
@@ -280,6 +292,11 @@ pub fn solve_with_guess(
         // iterate; accepting it as a stop certificate keeps Anderson's
         // larger extrapolation steps from masking convergence.
         if residual < options.tolerance || raw < options.tolerance {
+            telemetry::counter("dcf.solver.iterations", iter as u64 + 1);
+            telemetry::counter("dcf.solver.sweeps.damped", damped_sweeps);
+            telemetry::counter("dcf.solver.sweeps.accelerated", accel_sweeps);
+            telemetry::histogram("dcf.solver.iterations", (iter + 1) as f64);
+            telemetry::histogram("dcf.solver.residual", raw.min(residual));
             let total_log: f64 =
                 taus.iter().map(|&t| (1.0 - t).max(f64::MIN_POSITIVE).ln()).sum();
             let collision_probs = taus
@@ -292,6 +309,7 @@ pub fn solve_with_guess(
             return Ok(Equilibrium { taus, collision_probs, iterations: iter + 1 });
         }
     }
+    telemetry::counter("dcf.solver.failures", 1);
     Err(DcfError::SolveDidNotConverge { iterations: options.max_iterations, residual })
 }
 
@@ -334,6 +352,7 @@ pub fn solve_symmetric(n: usize, w: u32, params: &DcfParams) -> Result<Symmetric
         return Err(DcfError::invalid("n", "need at least one node"));
     }
     validate_windows(&[w])?;
+    telemetry::counter("dcf.solver.bisections", 1);
     let m = params.max_backoff_stage();
     if n == 1 {
         let tau = transmission_probability(w, 0.0, m)?;

@@ -19,6 +19,8 @@
 //! chains never cross a chunk boundary, the result vector is
 //! bitwise-identical for every `threads` value.
 
+use macgame_telemetry as telemetry;
+
 use crate::cache::SolveCache;
 use crate::error::DcfError;
 use crate::fixedpoint::{solve_with_guess, Equilibrium, SolveOptions};
@@ -56,7 +58,10 @@ pub fn solve_sweep(
     threads: usize,
 ) -> Result<Vec<Equilibrium>, DcfError> {
     let threads = resolve_threads(threads);
+    telemetry::counter("dcf.sweep.profiles", profiles.len() as u64);
+    let _span = telemetry::span("dcf.sweep.solve");
     let chunks: Vec<&[Vec<u32>]> = profiles.chunks(SWEEP_CHUNK).collect();
+    telemetry::counter("dcf.sweep.chunks", chunks.len() as u64);
     let solved: Vec<Result<Vec<Equilibrium>, DcfError>> =
         rayon::map_in_order(chunks, threads, |chunk| {
             let mut out = Vec::with_capacity(chunk.len());
@@ -95,7 +100,10 @@ pub fn solve_sweep_cached(
     threads: usize,
 ) -> Result<Vec<Equilibrium>, DcfError> {
     let threads = resolve_threads(threads);
+    telemetry::counter("dcf.sweep.profiles", profiles.len() as u64);
+    let _span = telemetry::span("dcf.sweep.solve_cached");
     let chunks: Vec<&[Vec<u32>]> = profiles.chunks(SWEEP_CHUNK).collect();
+    telemetry::counter("dcf.sweep.chunks", chunks.len() as u64);
     let solved: Vec<Result<Vec<Equilibrium>, DcfError>> =
         rayon::map_in_order(chunks, threads, |chunk| {
             chunk.iter().map(|profile| cache.solve(profile)).collect()

@@ -7,6 +7,7 @@
 //! the multi-hop game `G'` — Pareto optimal but in general not globally
 //! optimal (quasi-optimal in the experiments).
 
+use macgame_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::error::MultihopError;
@@ -108,6 +109,8 @@ pub fn tft_converge(
         }
     }
     let rounds_needed = rounds.len() - 1;
+    telemetry::counter("multihop.convergence.runs", 1);
+    telemetry::counter("multihop.convergence.rounds", rounds_needed as u64);
     Ok(ConvergenceTrace { rounds, final_windows: current, rounds_needed })
 }
 
@@ -144,6 +147,25 @@ pub fn check_multihop_ne(
     game_template: &macgame_core::GameConfig,
     epsilon: f64,
 ) -> Result<MultihopNeCheck, MultihopError> {
+    check_multihop_ne_threads(topology, local_windows, w_m, game_template, epsilon, 0)
+}
+
+/// [`check_multihop_ne`] with an explicit worker-thread count (`0` = the
+/// `MACGAME_THREADS` default), for callers that need to pin the pool size
+/// without touching the environment — e.g. the thread-invariance
+/// determinism tests.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn check_multihop_ne_threads(
+    topology: &Topology,
+    local_windows: &[u32],
+    w_m: u32,
+    game_template: &macgame_core::GameConfig,
+    epsilon: f64,
+    threads: usize,
+) -> Result<MultihopNeCheck, MultihopError> {
     if local_windows.len() != topology.len() {
         return Err(MultihopError::InvalidInput(format!(
             "{} windows for {} nodes",
@@ -162,7 +184,9 @@ pub fn check_multihop_ne(
     distinct.sort_unstable();
     distinct.dedup();
     type LocalVerdict = (macgame_core::equilibrium::NeCheck, f64);
-    let threads = macgame_dcf::parallel::resolve_threads(0);
+    telemetry::counter("multihop.localgame.ne_checks", distinct.len() as u64);
+    let _span = telemetry::span("multihop.ne_check");
+    let threads = macgame_dcf::parallel::resolve_threads(threads);
     let solved: Vec<Result<LocalVerdict, MultihopError>> =
         rayon::map_in_order(distinct.clone(), threads, |n_local| {
             let game = macgame_core::GameConfig::builder(n_local)

@@ -55,12 +55,14 @@ pub mod stats;
 pub mod topology;
 
 pub use convergence::{
-    check_multihop_ne, noisy_converge, tft_converge, ConvergenceTrace, GraphReaction,
-    MultihopNeCheck, NoisyTrace,
+    check_multihop_ne, check_multihop_ne_threads, noisy_converge, tft_converge, ConvergenceTrace,
+    GraphReaction, MultihopNeCheck, NoisyTrace,
 };
 pub use error::MultihopError;
 pub use geometry::{Arena, Point};
-pub use localgame::{analytic_p_hn, local_optimal_windows, local_taus, LocalRule};
+pub use localgame::{
+    analytic_p_hn, local_optimal_windows, local_optimal_windows_threads, local_taus, LocalRule,
+};
 pub use metrics::{evaluate_quasi_optimality, unilateral_quality, QuasiOptimality};
 pub use mobility::{Mobility, WaypointConfig};
 pub use repeated::{SpatialConvergence, SpatialRepeatedGame, SpatialStage};

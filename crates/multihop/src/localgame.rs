@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use macgame_dcf::optimal::{efficient_cw, efficient_cw_from_tau_star};
 use macgame_dcf::{DcfParams, UtilityParams};
+use macgame_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::error::MultihopError;
@@ -49,11 +50,31 @@ pub fn local_optimal_windows(
     w_max: u32,
     rule: LocalRule,
 ) -> Result<Vec<u32>, MultihopError> {
+    local_optimal_windows_threads(topology, params, utility, w_max, rule, 0)
+}
+
+/// [`local_optimal_windows`] with an explicit worker-thread count
+/// (`0` = the `MACGAME_THREADS` default), for callers that need to pin
+/// the pool size without touching the environment — e.g. the
+/// thread-invariance determinism tests.
+///
+/// # Errors
+///
+/// Propagates optimizer failures as [`MultihopError::Model`].
+pub fn local_optimal_windows_threads(
+    topology: &Topology,
+    params: &DcfParams,
+    utility: &UtilityParams,
+    w_max: u32,
+    rule: LocalRule,
+    threads: usize,
+) -> Result<Vec<u32>, MultihopError> {
     let populations: Vec<usize> = (0..topology.len()).map(|i| topology.local_population(i)).collect();
     let mut distinct: Vec<usize> = populations.clone();
     distinct.sort_unstable();
     distinct.dedup();
-    let threads = macgame_dcf::parallel::resolve_threads(0);
+    telemetry::counter("multihop.localgame.solves", distinct.len() as u64);
+    let threads = macgame_dcf::parallel::resolve_threads(threads);
     let solved: Vec<Result<u32, MultihopError>> =
         rayon::map_in_order(distinct.clone(), threads, |n_local| {
             if n_local < 2 {

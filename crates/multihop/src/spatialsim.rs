@@ -11,6 +11,7 @@
 
 use macgame_dcf::{DcfParams, MicroSecs, UtilityParams};
 use macgame_sim::Node;
+use macgame_telemetry as telemetry;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -389,6 +390,7 @@ impl SpatialEngine {
     /// Runs until at least `duration` elapses, reporting the interval.
     #[must_use]
     pub fn run_for(&mut self, duration: MicroSecs) -> SpatialReport {
+        let _span = telemetry::span("multihop.spatial.run");
         let stats_base: Vec<_> = self.nodes.iter().map(|n| *n.stats()).collect();
         let hidden_base = self.hidden.clone();
         let local_base = self.local_clock.clone();
@@ -398,7 +400,7 @@ impl SpatialEngine {
         while self.clock < deadline {
             self.step();
         }
-        SpatialReport {
+        let report = SpatialReport {
             node_stats: self
                 .nodes
                 .iter()
@@ -422,7 +424,14 @@ impl SpatialEngine {
                 .map(|(a, b)| *a - *b)
                 .collect(),
             slots: self.slots - slots_base,
-        }
+        };
+        telemetry::counter("multihop.spatial.runs", 1);
+        telemetry::counter("multihop.spatial.slots", report.slots);
+        telemetry::counter(
+            "multihop.spatial.hidden_losses",
+            report.hidden.iter().map(|h| h.hidden_losses).sum(),
+        );
+        report
     }
 }
 

@@ -6,6 +6,7 @@
 //! configuration under distinct seeds and [`Summary`] reports
 //! mean / standard deviation / normal-approximation 95 % CI.
 
+use macgame_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::config::SimConfig;
@@ -105,6 +106,8 @@ pub fn replicate_threads(
         return Err(SimError::InvalidConfig("need at least one replication".into()));
     }
     let threads = macgame_dcf::parallel::resolve_threads(threads);
+    telemetry::counter("sim.batch.replicas", replications as u64);
+    let _span = telemetry::span("sim.batch.replicate");
     let seeds: Vec<u64> = (0..replications).map(|r| base_seed.wrapping_add(r as u64)).collect();
     let reports: Vec<Result<StageReport, SimError>> =
         rayon::map_in_order(seeds, threads, |seed| {

@@ -12,6 +12,7 @@
 //! measure one interval.
 
 use macgame_dcf::MicroSecs;
+use macgame_telemetry as telemetry;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -285,6 +286,7 @@ impl Engine {
     /// Runs `slots` slots and reports the interval's measurements.
     #[must_use]
     pub fn run_slots(&mut self, slots: u64) -> StageReport {
+        let _span = telemetry::span("sim.engine.run");
         let baseline: Vec<_> = self.nodes.iter().map(|n| *n.stats()).collect();
         let clock_start = self.clock;
         let mut channel = ChannelCounts::default();
@@ -302,6 +304,7 @@ impl Engine {
     /// the interval's measurements.
     #[must_use]
     pub fn run_for(&mut self, duration: MicroSecs) -> StageReport {
+        let _span = telemetry::span("sim.engine.run");
         let baseline: Vec<_> = self.nodes.iter().map(|n| *n.stats()).collect();
         let clock_start = self.clock;
         let deadline = self.clock + duration;
@@ -322,6 +325,10 @@ impl Engine {
         clock_start: MicroSecs,
         channel: ChannelCounts,
     ) -> StageReport {
+        telemetry::counter("sim.engine.runs", 1);
+        telemetry::counter("sim.engine.slots", channel.total());
+        telemetry::counter("sim.engine.collisions", channel.collision);
+        telemetry::counter("sim.engine.successes", channel.success);
         StageReport {
             node_stats: self
                 .nodes

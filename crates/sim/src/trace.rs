@@ -172,4 +172,67 @@ mod tests {
     fn zero_capacity_rejected() {
         let _ = Trace::new(0);
     }
+
+    #[test]
+    fn capacity_one_ring_retains_only_the_latest() {
+        let mut t = Trace::new(1);
+        assert!(t.is_empty());
+        for i in 0..10 {
+            t.record(ev(i, SlotOutcome::Success { node: i as usize }));
+            assert_eq!(t.len(), 1);
+            assert_eq!(t.to_vec()[0].slot, i, "ring must hold exactly the latest event");
+        }
+        assert_eq!(t.recorded(), 10);
+        assert_eq!(t.timeline(), "9");
+    }
+
+    #[test]
+    fn wraparound_stays_ordered_across_many_laps() {
+        // Drive the head pointer through several full laps and check the
+        // logical ordering after every single eviction.
+        let mut t = Trace::new(4);
+        for i in 0..23u64 {
+            t.record(ev(i, SlotOutcome::Idle));
+            let slots: Vec<u64> = t.to_vec().iter().map(|e| e.slot).collect();
+            let expect: Vec<u64> = (i.saturating_sub(3)..=i).collect();
+            assert_eq!(slots, expect, "after recording slot {i}");
+        }
+        assert_eq!(t.recorded(), 23);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn serde_round_trip_mid_wrap_preserves_ring_state() {
+        // Serialize while the head is rotated (head ≠ 0) and keep recording
+        // into the deserialized copy: eviction order must be unaffected.
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.record(ev(i, SlotOutcome::Collision { transmitters: 2 }));
+        }
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.recorded(), 5);
+        back.record(ev(5, SlotOutcome::Idle));
+        back.record(ev(6, SlotOutcome::Idle));
+        let slots: Vec<u64> = back.to_vec().iter().map(|e| e.slot).collect();
+        assert_eq!(slots, vec![4, 5, 6]);
+        assert_eq!(back.recorded(), 7);
+    }
+
+    #[test]
+    fn recorded_counts_evicted_events_and_len_saturates() {
+        let mut t = Trace::new(5);
+        for i in 0..3 {
+            t.record(ev(i, SlotOutcome::Idle));
+        }
+        // Below capacity: every event is retained.
+        assert_eq!((t.recorded(), t.len()), (3, 3));
+        for i in 3..100 {
+            t.record(ev(i, SlotOutcome::Idle));
+        }
+        // Above capacity: `recorded` keeps counting, `len` saturates.
+        assert_eq!((t.recorded(), t.len()), (100, 5));
+        assert!(t.recorded() >= t.len() as u64);
+    }
 }

@@ -8,6 +8,22 @@ fn any_mode() -> impl Strategy<Value = AccessMode> {
     prop_oneof![Just(AccessMode::Basic), Just(AccessMode::RtsCts)]
 }
 
+/// Exhaustive (non-randomized) complement to `window_inversion_round_trips`:
+/// every window the observer might ever be asked to recover, over a grid of
+/// collision probabilities and backoff-stage counts, inverts exactly.
+#[test]
+fn window_inversion_exact_over_full_sweep() {
+    for m in [1u32, 3, 6] {
+        for &p in &[0.0, 0.1, 0.25, 0.5, 0.75, 0.9] {
+            for w in 1u32..=1024 {
+                let tau = macgame_dcf::markov::transmission_probability(w, p, m).unwrap();
+                let est = invert_window(tau, p, m, 2048).unwrap();
+                assert_eq!(est.window, w, "w={w} p={p} m={m} τ={tau}");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -83,6 +99,25 @@ proptest! {
         let tau = macgame_dcf::markov::transmission_probability(w, p, m).unwrap();
         let est = invert_window(tau, p, m, 4096).unwrap();
         prop_assert_eq!(est.window, w);
+    }
+
+    #[test]
+    fn window_inversion_monotone_in_tau_hat(
+        t1 in 0.001f64..1.0,
+        t2 in 0.001f64..1.0,
+        p in 0.0f64..0.9,
+        m in 1u32..7,
+    ) {
+        // τ(W, p) is strictly decreasing in W, so the inversion must be
+        // non-increasing in the observed attempt rate: a larger τ̂ can
+        // never map to a larger window estimate.
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let w_from_hi = invert_window(hi, p, m, 4096).unwrap().window;
+        let w_from_lo = invert_window(lo, p, m, 4096).unwrap().window;
+        prop_assert!(
+            w_from_hi <= w_from_lo,
+            "τ̂={hi} → Ŵ={w_from_hi} but τ̂={lo} → Ŵ={w_from_lo}"
+        );
     }
 
     #[test]

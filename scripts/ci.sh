@@ -17,8 +17,14 @@ cargo test -q --release --workspace
 echo "==> paper-conformance gate (repro -- conformance --quick)"
 cargo run --release -p macgame-bench --bin repro -- conformance --quick
 
+echo "==> telemetry profile (repro -- profile --quick)"
+cargo run --release -p macgame-bench --bin repro -- profile --quick
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --workspace --no-deps (deny rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> cargo fmt --check (advisory)"
 cargo fmt --all --check || echo "fmt check skipped or failed (advisory only)"
