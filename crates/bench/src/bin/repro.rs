@@ -10,8 +10,8 @@
 
 use macgame_bench::render::{text_table, write_artifact, write_raw_artifact};
 use macgame_bench::{
-    deviation_exp, extensions_exp, figures, multihop_exp, profile_exp, search_exp, tables,
-    BenchError,
+    deviation_exp, extensions_exp, figures, multihop_exp, profile_exp, robustness_exp, search_exp,
+    tables, BenchError,
 };
 use macgame_conformance::{run_conformance, ConformanceSettings};
 use macgame_dcf::{AccessMode, MicroSecs};
@@ -36,6 +36,7 @@ const EXPERIMENTS: &[&str] = &[
     "bench-solver",
     "conformance",
     "profile",
+    "robustness",
 ];
 
 fn main() {
@@ -80,6 +81,7 @@ fn main() {
             "bench-solver" => bench_solver(),
             "conformance" => conformance(quick),
             "profile" => profile(quick),
+            "robustness" => robustness(quick),
             _ => unreachable!(),
         };
         if let Err(e) = result {
@@ -697,5 +699,34 @@ fn profile(quick: bool) -> Result<(), BenchError> {
         "note: every section except \"timings\" is byte-identical across \
          MACGAME_THREADS settings"
     );
+    Ok(())
+}
+
+fn robustness(quick: bool) -> Result<(), BenchError> {
+    let settings = if quick {
+        robustness_exp::RobustnessSettings::quick()
+    } else {
+        robustness_exp::RobustnessSettings::full()
+    };
+    println!(
+        "deterministic fault injection: noisy observations, channel \
+         errors/capture, churn, solver ladder ({} workload)",
+        if quick { "quick" } else { "full" }
+    );
+    let report = robustness_exp::run_robustness(settings)?;
+    let rows = robustness_exp::robustness_table(&report);
+    println!("{}", text_table(&["section", "case", "result"], &rows));
+    let path = write_artifact("ROBUSTNESS", &report)?;
+    println!("artifact: {}", path.display());
+    println!(
+        "note: the workload is fully serial and seeded — the artifact is \
+         byte-identical across runs and MACGAME_THREADS settings"
+    );
+    if !report.zero_rate_bitwise_identical || !report.noop_observation_identical {
+        return Err(BenchError::Faults(macgame_faults::FaultError::invalid(
+            "zero_rate_identity",
+            "fault-rate-0 runs were not bitwise identical to the fault-free path",
+        )));
+    }
     Ok(())
 }

@@ -15,6 +15,7 @@ pub mod figures;
 pub mod multihop_exp;
 pub mod profile_exp;
 pub mod render;
+pub mod robustness_exp;
 pub mod search_exp;
 pub mod tables;
 
@@ -38,6 +39,8 @@ pub enum BenchError {
     Json(serde_json::Error),
     /// Conformance-gate error (failing claims or fixture trouble).
     Conformance(macgame_conformance::ConformanceError),
+    /// Fault-injection configuration error.
+    Faults(macgame_faults::FaultError),
 }
 
 impl fmt::Display for BenchError {
@@ -50,6 +53,7 @@ impl fmt::Display for BenchError {
             BenchError::Io(e) => write!(f, "io error: {e}"),
             BenchError::Json(e) => write!(f, "serialization error: {e}"),
             BenchError::Conformance(e) => write!(f, "conformance error: {e}"),
+            BenchError::Faults(e) => write!(f, "fault-injection error: {e}"),
         }
     }
 }
@@ -64,6 +68,7 @@ impl std::error::Error for BenchError {
             BenchError::Io(e) => Some(e),
             BenchError::Json(e) => Some(e),
             BenchError::Conformance(e) => Some(e),
+            BenchError::Faults(e) => Some(e),
         }
     }
 }
@@ -107,5 +112,11 @@ impl From<serde_json::Error> for BenchError {
 impl From<macgame_conformance::ConformanceError> for BenchError {
     fn from(e: macgame_conformance::ConformanceError) -> Self {
         BenchError::Conformance(e)
+    }
+}
+
+impl From<macgame_faults::FaultError> for BenchError {
+    fn from(e: macgame_faults::FaultError) -> Self {
+        BenchError::Faults(e)
     }
 }

@@ -155,7 +155,7 @@ pub fn simulated_ne_adaptive(
         .stage_duration(stage)
         .build()?;
     let players: Vec<Box<dyn Strategy>> =
-        (0..n).map(|_| Box::new(HillClimb::new(start, step)) as Box<dyn Strategy>).collect();
+        (0..n).map(|_| Box::new(HillClimb::try_new(start, step).expect("valid hill-climb step")) as Box<dyn Strategy>).collect();
     let evaluator =
         Box::new(SimulatedEvaluator::new(game.clone(), seed)?.with_exact_observation(true));
     let mut rg = RepeatedGame::new(game, players, evaluator)?;

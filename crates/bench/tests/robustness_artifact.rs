@@ -1,0 +1,51 @@
+//! The robustness artifact must be a pure function of its settings: two
+//! runs in the same process produce byte-identical JSON, the zero-rate
+//! identity gates hold, and the fault plane demonstrably fired.
+
+use macgame_bench::robustness_exp::{run_robustness, RobustnessSettings};
+
+#[test]
+fn quick_robustness_report_is_run_deterministic_and_gated() {
+    let first = run_robustness(RobustnessSettings::quick()).expect("first run");
+    let second = run_robustness(RobustnessSettings::quick()).expect("second run");
+
+    let a = serde_json::to_string_pretty(&first).expect("serialize first");
+    let b = serde_json::to_string_pretty(&second).expect("serialize second");
+    assert_eq!(a, b, "robustness artifact bytes differ between identical runs");
+
+    // The zero-cost guarantees of the fault plane.
+    assert!(first.zero_rate_bitwise_identical);
+    assert!(first.noop_observation_identical);
+
+    // The fault plane actually fired: injected channel events at nonzero
+    // rates, and none at rate zero.
+    for p in &first.channel_sweep {
+        if p.error_rate == 0.0 {
+            assert_eq!(p.injected_errors, 0);
+        } else {
+            assert!(p.injected_errors > 0, "error_rate {} injected nothing", p.error_rate);
+        }
+        if p.capture_prob == 0.0 {
+            assert_eq!(p.injected_captures, 0);
+        }
+    }
+
+    // Churn settled and the ladder agreed with the plain solver wherever
+    // it converged.
+    assert!(first.churn.iter().all(|r| r.settled));
+    for l in &first.ladder {
+        if l.plain_converged {
+            let gap = l.max_tau_gap.expect("gap recorded when plain solve converged");
+            assert!(gap < 1e-6, "ladder diverged from plain solve: gap {gap}");
+        }
+    }
+    // The starved budget exercised a fallback rung.
+    assert!(
+        first.ladder.iter().any(|l| l.budget == "starved" && l.rung != "accelerated"),
+        "starved budget never left the first rung"
+    );
+
+    // The workload is instrumented: counters made it into the report.
+    assert!(!first.telemetry_counters.is_empty());
+    assert!(first.telemetry_counters.iter().any(|(_, v)| *v > 0));
+}

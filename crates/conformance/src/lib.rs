@@ -16,7 +16,10 @@
 //!   methodology, with honest error bars).
 //!
 //! [`report::run_conformance`] runs both pillars plus the analytic
-//! paper-value claims and returns a [`report::ConformanceReport`] whose
+//! paper-value claims and the fault-plane robustness claims (zero-rate
+//! runs bitwise identical to the fault-free path; the solver fallback
+//! ladder agreeing with the plain solver), and returns a
+//! [`report::ConformanceReport`] whose
 //! serialization is byte-identical for every thread count — `repro --
 //! conformance` writes it to `artifacts/CONFORMANCE.json`.
 

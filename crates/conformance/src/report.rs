@@ -236,6 +236,86 @@ fn analytic_claims() -> Result<Vec<Claim>, ConformanceError> {
     Ok(claims)
 }
 
+/// Gates the fault plane's zero-cost guarantees and the solver fallback
+/// ladder, so `repro -- robustness` rests on claims the conformance suite
+/// re-proves on every run:
+///
+/// * a fault-rate-0 engine run is **bitwise identical** to the engine
+///   with no fault plane at all;
+/// * a no-op observation channel returns the bare evaluator's outcome
+///   verbatim;
+/// * `solve_robust` agrees with the plain solver on every profile the
+///   plain solver converges on (rung 1 is bitwise-identical by
+///   construction; this claim re-checks it end to end).
+fn robustness_claims() -> Result<Vec<Claim>, ConformanceError> {
+    use macgame_core::evaluator::{
+        AnalyticalEvaluator, NoisyObservationEvaluator, StageEvaluator,
+    };
+    use macgame_dcf::fixedpoint::{solve, solve_robust, SolveOptions};
+    use macgame_faults::{ChannelFaults, ObservationFaults};
+    use macgame_sim::{Engine, SimConfig};
+
+    let mut claims = Vec::new();
+
+    // Fault-rate-0 engine runs are bitwise identical to the no-fault path.
+    let game = GameConfig::builder(5).build()?;
+    let config = SimConfig::builder()
+        .params(*game.params())
+        .utility(*game.utility())
+        .symmetric(5, PAPER_BASIC_N5_W_STAR)
+        .seed(2007)
+        .build()?;
+    let slots = 10_000;
+    let plain = Engine::new(&config).run_slots(slots);
+    let faults = ChannelFaults::noop();
+    let noop = Engine::with_faults(&config, faults)
+        .map_err(ConformanceError::Sim)?
+        .run_slots(slots);
+    claims.push(Claim::boolean(
+        "robustness-zero-rate-engine-identity",
+        plain == noop,
+        format!("{slots} slots at W = {PAPER_BASIC_N5_W_STAR}: noop-fault report == plain report"),
+    ));
+
+    // A no-op observation channel is invisible to the game layer.
+    let mut bare = AnalyticalEvaluator::new(game.clone());
+    let mut wrapped = NoisyObservationEvaluator::new(
+        AnalyticalEvaluator::new(game.clone()),
+        ObservationFaults::noop(),
+        5,
+        game.w_max(),
+    );
+    let mut identical = true;
+    for profile in [vec![76u32; 5], vec![16, 64, 256, 128, 32]] {
+        identical &= bare.evaluate(&profile)? == wrapped.evaluate(&profile)?;
+    }
+    claims.push(Claim::boolean(
+        "robustness-noop-observation-identity",
+        identical,
+        "noop channel returns the bare evaluator's outcome verbatim".into(),
+    ));
+
+    // The fallback ladder never changes an answer the plain solver has.
+    let params = DcfParams::default();
+    let profiles: &[&[u32]] = &[&[76; 5], &[16, 64, 256], &[1, 1024, 1, 512], &[2; 10]];
+    let mut worst_gap = 0.0f64;
+    for profile in profiles {
+        let eq = solve(profile, &params, SolveOptions::default())?;
+        let robust = solve_robust(profile, &params, SolveOptions::default())?;
+        for (a, b) in eq.taus.iter().zip(&robust.equilibrium.taus) {
+            worst_gap = worst_gap.max((a - b).abs());
+        }
+    }
+    claims.push(Claim::gated(
+        "robustness-ladder-agrees-with-plain-solve",
+        worst_gap,
+        1e-8,
+        format!("max |τ| gap over {} profiles: {worst_gap:.3e}", profiles.len()),
+    ));
+
+    Ok(claims)
+}
+
 fn golden_claim<T: Serialize>(name: &str, value: &T) -> Result<Claim, ConformanceError> {
     let claim_name = format!("golden-{name}");
     match check_golden(name, value) {
@@ -284,6 +364,7 @@ pub fn run_conformance(
             format!("95% CI half-width ≤ {:.2e}", c.max_ci_half_width),
         )
     }));
+    claims.extend(robustness_claims()?);
     telemetry::counter("conformance.claims", claims.len() as u64);
     Ok(ConformanceReport {
         slots: settings.slots,
@@ -339,6 +420,15 @@ mod tests {
         assert_eq!(claims.len(), 5);
         for c in &claims {
             assert!(c.pass, "analytic claim {} failed: {}", c.name, c.detail);
+        }
+    }
+
+    #[test]
+    fn robustness_claims_all_pass() {
+        let claims = robustness_claims().unwrap();
+        assert_eq!(claims.len(), 3);
+        for c in &claims {
+            assert!(c.pass, "robustness claim {} failed: {}", c.name, c.detail);
         }
     }
 }

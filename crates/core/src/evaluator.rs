@@ -16,8 +16,9 @@ use std::sync::{Arc, RwLock};
 
 use macgame_dcf::cache::canonicalize;
 use macgame_telemetry as telemetry;
-use macgame_dcf::fixedpoint::{solve, SolveOptions};
+use macgame_dcf::fixedpoint::{solve_robust, SolveOptions};
 use macgame_dcf::utility::all_utilities;
+use macgame_faults::{ObservationChannel, ObservationFaults};
 use macgame_sim::{estimate_windows, Engine, SimConfig};
 
 use crate::error::GameError;
@@ -71,7 +72,11 @@ impl AnalyticalEvaluator {
 
 impl StageEvaluator for AnalyticalEvaluator {
     fn evaluate(&mut self, windows: &[u32]) -> Result<StageOutcome, GameError> {
-        let eq = solve(windows, self.game.params(), self.options)?;
+        // The robust ladder returns the plain solve bitwise-identically when
+        // the accelerated pass converges; the fallback rungs only engage on
+        // profiles the plain solver would have rejected outright.
+        let robust = solve_robust(windows, self.game.params(), self.options)?;
+        let eq = robust.equilibrium;
         let per_us =
             all_utilities(&eq.taus, &eq.collision_probs, self.game.params(), self.game.utility());
         let utilities = per_us.into_iter().map(|u| self.game.stage_utility(u)).collect();
@@ -160,6 +165,58 @@ impl StageEvaluator for SimulatedEvaluator {
     }
 }
 
+
+/// Wraps any evaluator with a seeded [`ObservationChannel`]: utilities are
+/// passed through untouched, but the observed windows the strategies react
+/// to are perturbed by multiplicative/additive noise, stale reads and
+/// dropped observations.
+///
+/// This is the fault-injection hook the robustness experiments use to map
+/// which GTFT `(r₀, β)` parameterizations still converge to `W_c*` when the
+/// promiscuous-mode estimates are unreliable. A no-op fault configuration
+/// returns the inner outcome verbatim without drawing randomness, so a
+/// zero-rate wrapper is bitwise identical to the bare evaluator.
+#[derive(Debug, Clone)]
+pub struct NoisyObservationEvaluator<E> {
+    inner: E,
+    channel: ObservationChannel,
+    w_max: u32,
+}
+
+impl<E: StageEvaluator> NoisyObservationEvaluator<E> {
+    /// Wraps `inner` for a game of `nodes` players whose observations are
+    /// clamped into `[1, w_max]`.
+    #[must_use]
+    pub fn new(inner: E, faults: ObservationFaults, nodes: usize, w_max: u32) -> Self {
+        NoisyObservationEvaluator {
+            inner,
+            channel: ObservationChannel::new(faults, nodes),
+            w_max,
+        }
+    }
+
+    /// The wrapped fault configuration.
+    #[must_use]
+    pub fn faults(&self) -> &ObservationFaults {
+        self.channel.faults()
+    }
+
+    /// Consumes the wrapper, returning the inner evaluator.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: StageEvaluator> StageEvaluator for NoisyObservationEvaluator<E> {
+    fn evaluate(&mut self, windows: &[u32]) -> Result<StageOutcome, GameError> {
+        let outcome = self.inner.evaluate(windows)?;
+        let observed_windows = self
+            .channel
+            .observe(&outcome.observed_windows, self.w_max)
+            .map_err(|e| GameError::InvalidConfig(e.to_string()))?;
+        Ok(StageOutcome { utilities: outcome.utilities, observed_windows })
+    }
+}
 
 /// Memoizing wrapper around any deterministic evaluator: repeated games,
 /// tournaments and best-response dynamics revisit the same profiles
@@ -372,6 +429,68 @@ mod tests {
         let mut sim = SimulatedEvaluator::new(g, 3).unwrap().with_exact_observation(true);
         let out = sim.evaluate(&[16, 64, 256]).unwrap();
         assert_eq!(out.observed_windows, vec![16, 64, 256]);
+    }
+
+    #[test]
+    fn noop_noisy_wrapper_is_bitwise_identical() {
+        let g = game(3);
+        let mut bare = AnalyticalEvaluator::new(g.clone());
+        let mut wrapped = NoisyObservationEvaluator::new(
+            AnalyticalEvaluator::new(g.clone()),
+            ObservationFaults::noop(),
+            3,
+            g.w_max(),
+        );
+        for profile in [[16u32, 64, 256], [76, 76, 76], [1, 32, 1024]] {
+            let a = bare.evaluate(&profile).unwrap();
+            let b = wrapped.evaluate(&profile).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn noisy_wrapper_perturbs_observations_but_not_utilities() {
+        let g = game(3);
+        let faults = ObservationFaults::noise(0.4, 11).unwrap();
+        let mut bare = AnalyticalEvaluator::new(g.clone());
+        let mut wrapped = NoisyObservationEvaluator::new(
+            AnalyticalEvaluator::new(g.clone()),
+            faults,
+            3,
+            g.w_max(),
+        );
+        let mut any_moved = false;
+        for _ in 0..20 {
+            let a = bare.evaluate(&[16, 64, 256]).unwrap();
+            let b = wrapped.evaluate(&[16, 64, 256]).unwrap();
+            assert_eq!(a.utilities, b.utilities);
+            assert!(b.observed_windows.iter().all(|&w| (1..=g.w_max()).contains(&w)));
+            any_moved |= b.observed_windows != a.observed_windows;
+        }
+        assert!(any_moved, "40% multiplicative noise never moved an estimate");
+    }
+
+    #[test]
+    fn noisy_wrapper_is_seed_deterministic() {
+        let g = game(4);
+        let faults = ObservationFaults::new(0.2, 3.0, 0.1, 0.1, 99).unwrap();
+        let mut a = NoisyObservationEvaluator::new(
+            AnalyticalEvaluator::new(g.clone()),
+            faults,
+            4,
+            g.w_max(),
+        );
+        let mut b = NoisyObservationEvaluator::new(
+            AnalyticalEvaluator::new(g.clone()),
+            faults,
+            4,
+            g.w_max(),
+        );
+        for _ in 0..15 {
+            let oa = a.evaluate(&[32, 64, 128, 256]).unwrap();
+            let ob = b.evaluate(&[32, 64, 128, 256]).unwrap();
+            assert_eq!(oa, ob);
+        }
     }
 
     #[test]

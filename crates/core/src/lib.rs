@@ -68,7 +68,8 @@ pub mod tournament;
 pub use equilibrium::{check_symmetric_ne, efficient_ne, ne_interval, NeCheck, DEFAULT_NE_EPSILON};
 pub use error::GameError;
 pub use evaluator::{
-    AnalyticalEvaluator, CachingEvaluator, SimulatedEvaluator, StageEvaluator, StageOutcome,
+    AnalyticalEvaluator, CachingEvaluator, NoisyObservationEvaluator, SimulatedEvaluator,
+    StageEvaluator, StageOutcome,
 };
 pub use game::{GameConfig, GameConfigBuilder};
 pub use history::{History, StageRecord};

@@ -240,7 +240,7 @@ mod tests {
         let game = GameConfig::builder(3).build().unwrap();
         let eval = Box::new(AnalyticalEvaluator::new(game.clone()));
         let players: Vec<Box<dyn Strategy>> = (0..3)
-            .map(|_| Box::new(GenerousTft::new(90, 3, 0.9)) as Box<dyn Strategy>)
+            .map(|_| Box::new(GenerousTft::try_new(90, 3, 0.9).unwrap()) as Box<dyn Strategy>)
             .collect();
         let mut rg = RepeatedGame::new(game, players, eval).unwrap();
         let report = rg.play_until_converged(10, 3).unwrap();

@@ -90,14 +90,36 @@ impl GenerousTft {
     /// GTFT with memory `r0 ≥ 1` and tolerance `β ∈ (0, 1]` (β close to 1
     /// is least tolerant; lowering β or raising `r0` forgives more noise).
     ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidConfig`] if `r0 == 0` or `β` is outside
+    /// `(0, 1]`.
+    pub fn try_new(initial: u32, r0: usize, beta: f64) -> Result<Self, GameError> {
+        if r0 == 0 {
+            return Err(GameError::InvalidConfig(
+                "GTFT needs at least one stage of memory (r0 ≥ 1)".into(),
+            ));
+        }
+        if !(beta > 0.0 && beta <= 1.0) {
+            return Err(GameError::InvalidConfig(format!(
+                "tolerance β must be in (0, 1], got {beta}"
+            )));
+        }
+        Ok(GenerousTft { initial, window_count: r0, tolerance: beta })
+    }
+
+    /// Panicking variant of [`GenerousTft::try_new`].
+    ///
     /// # Panics
     ///
     /// Panics if `r0 == 0` or `β` is outside `(0, 1]`.
+    #[deprecated(since = "0.1.0", note = "panics on invalid r0/β; use `GenerousTft::try_new`")]
     #[must_use]
     pub fn new(initial: u32, r0: usize, beta: f64) -> Self {
-        assert!(r0 >= 1, "GTFT needs at least one stage of memory");
-        assert!(beta > 0.0 && beta <= 1.0, "tolerance β must be in (0, 1]");
-        GenerousTft { initial, window_count: r0, tolerance: beta }
+        match Self::try_new(initial, r0, beta) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -279,13 +301,28 @@ pub struct HillClimb {
 impl HillClimb {
     /// Starts at `initial`, probing with the given initial `step`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidConfig`] if `step == 0`.
+    pub fn try_new(initial: u32, step: u32) -> Result<Self, GameError> {
+        if step == 0 {
+            return Err(GameError::InvalidConfig("step must be at least 1".into()));
+        }
+        Ok(HillClimb { initial, step, direction: 1, last_utility: None })
+    }
+
+    /// Panicking variant of [`HillClimb::try_new`].
+    ///
     /// # Panics
     ///
     /// Panics if `step == 0`.
+    #[deprecated(since = "0.1.0", note = "panics on step == 0; use `HillClimb::try_new`")]
     #[must_use]
     pub fn new(initial: u32, step: u32) -> Self {
-        assert!(step >= 1, "step must be at least 1");
-        HillClimb { initial, step, direction: 1, last_utility: None }
+        match Self::try_new(initial, step) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -368,7 +405,7 @@ mod tests {
     #[test]
     fn gtft_tolerates_small_undercuts() {
         // β = 0.9: an observed 95 against my 100 is within tolerance.
-        let mut gtft = GenerousTft::new(100, 2, 0.9);
+        let mut gtft = GenerousTft::try_new(100, 2, 0.9).unwrap();
         let g = game(2);
         let mut h = History::new();
         h.push(record(vec![100, 95]));
@@ -377,7 +414,7 @@ mod tests {
 
     #[test]
     fn gtft_reacts_to_large_undercuts() {
-        let mut gtft = GenerousTft::new(100, 2, 0.9);
+        let mut gtft = GenerousTft::try_new(100, 2, 0.9).unwrap();
         let g = game(2);
         let mut h = History::new();
         h.push(record(vec![100, 50]));
@@ -387,7 +424,7 @@ mod tests {
     #[test]
     fn gtft_averages_over_memory() {
         // One noisy stage at 70 averaged with 110 gives 90 ≥ β·100: forgive.
-        let mut gtft = GenerousTft::new(100, 2, 0.9);
+        let mut gtft = GenerousTft::try_new(100, 2, 0.9).unwrap();
         let g = game(2);
         let mut h = History::new();
         h.push(record(vec![100, 110]));
@@ -397,8 +434,18 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "memory")]
+    #[allow(deprecated)]
     fn gtft_rejects_zero_memory() {
         let _ = GenerousTft::new(100, 0, 0.9);
+    }
+
+    #[test]
+    fn gtft_try_new_rejects_invalid_parameters() {
+        assert!(GenerousTft::try_new(100, 0, 0.9).is_err());
+        assert!(GenerousTft::try_new(100, 1, 0.0).is_err());
+        assert!(GenerousTft::try_new(100, 1, 1.5).is_err());
+        assert!(GenerousTft::try_new(100, 1, f64::NAN).is_err());
+        assert!(GenerousTft::try_new(100, 1, 1.0).is_ok());
     }
 
     #[test]
@@ -454,7 +501,7 @@ mod tests {
     #[test]
     fn strategy_names() {
         assert_eq!(Tft::new(1).name(), "tft");
-        assert_eq!(GenerousTft::new(1, 1, 0.5).name(), "generous-tft");
+        assert_eq!(GenerousTft::try_new(1, 1, 0.5).unwrap().name(), "generous-tft");
         assert_eq!(Constant::new(1).name(), "constant");
         assert_eq!(BestResponse::new(1).name(), "best-response");
     }
@@ -462,7 +509,7 @@ mod tests {
     #[test]
     fn hill_climb_probes_then_turns() {
         let g = game(2);
-        let mut hc = HillClimb::new(50, 8);
+        let mut hc = HillClimb::try_new(50, 8).unwrap();
         assert_eq!(hc.initial_window(0, &g), 50);
         let mut h = History::new();
         // Stage 0: utility observed, probe upward.
@@ -495,7 +542,7 @@ mod tests {
         use crate::evaluator::AnalyticalEvaluator;
         use crate::repeated::RepeatedGame;
         let g = game(5);
-        let mut players: Vec<Box<dyn Strategy>> = vec![Box::new(HillClimb::new(400, 32))];
+        let mut players: Vec<Box<dyn Strategy>> = vec![Box::new(HillClimb::try_new(400, 32).unwrap())];
         for _ in 1..5 {
             players.push(Box::new(Constant::new(79)));
         }
@@ -513,7 +560,14 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "step")]
+    #[allow(deprecated)]
     fn hill_climb_rejects_zero_step() {
         let _ = HillClimb::new(10, 0);
+    }
+
+    #[test]
+    fn hill_climb_try_new_rejects_zero_step() {
+        assert!(HillClimb::try_new(10, 0).is_err());
+        assert!(HillClimb::try_new(10, 1).is_ok());
     }
 }

@@ -179,7 +179,7 @@ mod tests {
     fn field(w_star: u32) -> Vec<Entrant> {
         vec![
             Entrant::new("tft", move || Box::new(Tft::new(w_star))),
-            Entrant::new("gtft", move || Box::new(GenerousTft::new(w_star, 2, 0.9))),
+            Entrant::new("gtft", move || Box::new(GenerousTft::try_new(w_star, 2, 0.9).expect("valid GTFT parameters"))),
             Entrant::new("aggressor", move || Box::new(Constant::new((w_star / 4).max(1)))),
             Entrant::new("compliant", move || Box::new(Constant::new(w_star))),
         ]
@@ -210,7 +210,7 @@ mod tests {
         let w_star = efficient_ne(&two).unwrap().window;
         let field: Vec<Entrant> = vec![
             Entrant::new("tft", move || Box::new(Tft::new(w_star))),
-            Entrant::new("gtft", move || Box::new(GenerousTft::new(w_star, 2, 0.9))),
+            Entrant::new("gtft", move || Box::new(GenerousTft::try_new(w_star, 2, 0.9).expect("valid GTFT parameters"))),
             Entrant::new("aggressor", move || Box::new(Constant::new((w_star / 8).max(1)))),
         ];
         let result = round_robin(&field, &t, 30).unwrap();

@@ -66,7 +66,7 @@ proptest! {
         stages in 1usize..6,
     ) {
         let g = game(3);
-        let mut gtft = GenerousTft::new(w, r0, beta);
+        let mut gtft = GenerousTft::try_new(w, r0, beta).unwrap();
         let mut h = History::new();
         for _ in 0..stages {
             h.push(record(vec![w.clamp(1, g.w_max()); 3]));
@@ -224,5 +224,31 @@ proptest! {
         let trace = replicator(&t, &PopulationState::uniform(2), 300).unwrap();
         prop_assert!(trace.final_state().share(0) < 0.5);
         prop_assert_eq!(trace.final_state().dominant(), 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Wrapping any evaluator in a zero-rate observation channel changes
+    /// nothing: utilities and observed windows are bitwise identical for
+    /// arbitrary profiles.
+    #[test]
+    fn noop_observation_wrapper_is_identity(
+        profile in prop::collection::vec(1u32..1024, 2..6),
+    ) {
+        use macgame_core::evaluator::{NoisyObservationEvaluator, StageEvaluator};
+        use macgame_faults::ObservationFaults;
+        let g = game(profile.len());
+        let mut bare = AnalyticalEvaluator::new(g.clone());
+        let mut wrapped = NoisyObservationEvaluator::new(
+            AnalyticalEvaluator::new(g.clone()),
+            ObservationFaults::noop(),
+            profile.len(),
+            g.w_max(),
+        );
+        let a = bare.evaluate(&profile).unwrap();
+        let b = wrapped.evaluate(&profile).unwrap();
+        prop_assert_eq!(a, b);
     }
 }

@@ -17,7 +17,7 @@
 use macgame_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
-use crate::error::DcfError;
+use crate::error::{DcfError, SolveAttempt, SolveRung};
 use crate::markov::transmission_probability;
 use crate::params::DcfParams;
 
@@ -310,7 +310,209 @@ pub fn solve_with_guess(
         }
     }
     telemetry::counter("dcf.solver.failures", 1);
-    Err(DcfError::SolveDidNotConverge { iterations: options.max_iterations, residual })
+    Err(DcfError::did_not_converge(options.max_iterations, residual))
+}
+
+/// Result of the [`solve_robust`] fallback ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustSolve {
+    /// The converged solution.
+    pub equilibrium: Equilibrium,
+    /// The rung that produced it. [`SolveRung::Accelerated`] means the
+    /// primary solver succeeded and the result is bitwise identical to a
+    /// plain [`solve`] with the same options.
+    pub rung: SolveRung,
+    /// Diagnostics of the rungs that failed before `rung` succeeded
+    /// (empty when the primary solver converged).
+    pub attempts: Vec<SolveAttempt>,
+}
+
+/// Residual bound accepted from the safe mode. The enclosure brackets the
+/// fixed point rigorously, but the composed per-equation residual
+/// accumulates rounding over `n` nodes, so the certificate is looser than
+/// the iterative solver's tolerance.
+const SAFE_MODE_RESIDUAL: f64 = 1e-8;
+
+/// Solves the coupled `(τ, p)` system through a fallback ladder, so that
+/// [`DcfError::SolveDidNotConverge`] becomes a last resort carrying the
+/// full diagnostic trail:
+///
+/// 1. **Primary** — [`solve`] exactly as configured by `options`. On
+///    success the result is bitwise identical to calling [`solve`]
+///    directly (nothing about the ladder perturbs the primary path).
+/// 2. **Damped retry** — acceleration disabled, damping tightened to
+///    `0.6×` the configured value, iteration budget doubled. Catches
+///    profiles where Anderson extrapolation oscillates.
+/// 3. **Bounded bisection safe mode** — guaranteed bracketing with its
+///    own fixed budgets, independent of how starved `options` was.
+///    Homogeneous profiles go straight to the monotone scalar bisection
+///    of [`solve_symmetric`]. Heterogeneous profiles use the interval
+///    enclosure of the anti-monotone sweep map `G` (each `τ_i` is
+///    decreasing in every other `τ_j`, so `G∘G` is monotone and the pair
+///    iteration `l ← G(u), u ← G(l)` from `l = 0, u = G(0)` brackets
+///    every fixed point between monotone bounds). When the bracket
+///    collapses the midpoint **is** the solution; when it stalls on a
+///    two-cycle, a heavily-damped continuation finishes from the bracket
+///    midpoint — far inside the basin the enclosure certified.
+///
+/// # Errors
+///
+/// * [`DcfError::InvalidParameter`] for an empty profile, a zero window,
+///   or invalid damping — input validation is not retried;
+/// * [`DcfError::SolveDidNotConverge`] only if all three rungs fail; the
+///   `attempts` field then records each rung's iterations and residual.
+pub fn solve_robust(
+    windows: &[u32],
+    params: &DcfParams,
+    options: SolveOptions,
+) -> Result<RobustSolve, DcfError> {
+    telemetry::counter("dcf.solver.robust.solves", 1);
+    let mut attempts = Vec::new();
+    match solve(windows, params, options) {
+        Ok(equilibrium) => {
+            return Ok(RobustSolve { equilibrium, rung: SolveRung::Accelerated, attempts })
+        }
+        Err(DcfError::SolveDidNotConverge { iterations, residual, .. }) => {
+            attempts.push(SolveAttempt { rung: SolveRung::Accelerated, iterations, residual });
+        }
+        Err(other) => return Err(other),
+    }
+    telemetry::counter("dcf.solver.robust.retries", 1);
+    let retry = SolveOptions {
+        accelerate: false,
+        damping: options.damping * 0.6,
+        max_iterations: options.max_iterations.saturating_mul(2).max(1),
+        tolerance: options.tolerance,
+    };
+    match solve(windows, params, retry) {
+        Ok(equilibrium) => {
+            return Ok(RobustSolve { equilibrium, rung: SolveRung::Damped, attempts })
+        }
+        Err(DcfError::SolveDidNotConverge { iterations, residual, .. }) => {
+            attempts.push(SolveAttempt { rung: SolveRung::Damped, iterations, residual });
+        }
+        Err(other) => return Err(other),
+    }
+    telemetry::counter("dcf.solver.robust.safe_mode", 1);
+    let ladder_error = |mut attempts: Vec<SolveAttempt>, iterations, residual| {
+        attempts.push(SolveAttempt { rung: SolveRung::Bisection, iterations, residual });
+        telemetry::counter("dcf.solver.robust.failures", 1);
+        DcfError::SolveDidNotConverge {
+            iterations: attempts.iter().map(|a| a.iterations).sum(),
+            residual,
+            attempts,
+        }
+    };
+    match solve_bisection_safe(windows, params, options.tolerance) {
+        Ok(equilibrium) => {
+            let residual = equilibrium.residual(windows, params)?;
+            if residual <= SAFE_MODE_RESIDUAL.max(options.tolerance) {
+                Ok(RobustSolve { equilibrium, rung: SolveRung::Bisection, attempts })
+            } else {
+                let iterations = equilibrium.iterations;
+                Err(ladder_error(attempts, iterations, residual))
+            }
+        }
+        Err(DcfError::SolveDidNotConverge { iterations, residual, .. }) => {
+            Err(ladder_error(attempts, iterations, residual))
+        }
+        Err(other) => Err(other),
+    }
+}
+
+/// The bounded safe mode behind [`solve_robust`]'s last rung. Has its own
+/// fixed iteration budgets so that it stays reliable even when the caller
+/// starved `SolveOptions::max_iterations`.
+fn solve_bisection_safe(
+    windows: &[u32],
+    params: &DcfParams,
+    tolerance: f64,
+) -> Result<Equilibrium, DcfError> {
+    validate_windows(windows)?;
+    let n = windows.len();
+    // Homogeneous: the scalar bisection is monotone and guaranteed.
+    if windows.iter().all(|&w| w == windows[0]) {
+        let sym = solve_symmetric(n, windows[0], params)?;
+        return Ok(Equilibrium {
+            taus: vec![sym.tau; n],
+            collision_probs: vec![sym.collision_prob; n],
+            iterations: 1,
+        });
+    }
+    let m = params.max_backoff_stage();
+    // The undamped sweep map. G_i does not depend on τ_i and is
+    // decreasing in every τ_j (j ≠ i): more competition ⇒ more
+    // collisions ⇒ slower transmission.
+    let sweep = |taus: &[f64]| -> Result<Vec<f64>, DcfError> {
+        let total_log: f64 = taus.iter().map(|&t| (1.0 - t).max(f64::MIN_POSITIVE).ln()).sum();
+        windows
+            .iter()
+            .zip(taus)
+            .map(|(&w, &t)| {
+                let others = (total_log - (1.0 - t).max(f64::MIN_POSITIVE).ln()).exp();
+                transmission_probability(w, (1.0 - others).clamp(0.0, 1.0), m)
+            })
+            .collect()
+    };
+    // Interval enclosure: anti-monotone G makes G∘G monotone, so from the
+    // trivial bracket [0, G(0)] the pair iteration produces lower bounds
+    // that only rise and upper bounds that only fall, with every fixed
+    // point in between. Either the bracket collapses (solved, with a
+    // rigorous certificate) or it stalls on a two-cycle of G.
+    let mut lo = vec![0.0f64; n];
+    let mut hi = sweep(&lo)?;
+    let mut sweeps = 2usize;
+    for _ in 0..500 {
+        let new_lo = sweep(&hi)?;
+        let new_hi = sweep(&lo)?;
+        sweeps += 2;
+        let moved = new_lo
+            .iter()
+            .zip(&lo)
+            .chain(new_hi.iter().zip(&hi))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        lo = new_lo;
+        hi = new_hi;
+        let gap = hi.iter().zip(&lo).map(|(h, l)| h - l).fold(0.0f64, f64::max);
+        if gap < tolerance.max(1e-14) {
+            let taus: Vec<f64> = lo.iter().zip(&hi).map(|(l, h)| 0.5 * (l + h)).collect();
+            let total_log: f64 =
+                taus.iter().map(|&t| (1.0 - t).max(f64::MIN_POSITIVE).ln()).sum();
+            let collision_probs = taus
+                .iter()
+                .map(|&t| {
+                    let others = (total_log - (1.0 - t).max(f64::MIN_POSITIVE).ln()).exp();
+                    (1.0 - others).clamp(0.0, 1.0)
+                })
+                .collect();
+            return Ok(Equilibrium { taus, collision_probs, iterations: sweeps });
+        }
+        if moved < 1e-15 {
+            break;
+        }
+    }
+    // Stalled enclosure: finish with a heavily-damped continuation from
+    // the bracket midpoint, dropping the damping until one converges.
+    let midpoint: Vec<f64> = lo.iter().zip(&hi).map(|(l, h)| 0.5 * (l + h)).collect();
+    let mut last = DcfError::did_not_converge(sweeps, f64::INFINITY);
+    for damping in [0.25, 0.1, 0.04] {
+        let opts = SolveOptions {
+            max_iterations: 60_000,
+            tolerance,
+            damping,
+            accelerate: false,
+        };
+        match solve_with_guess(windows, params, opts, Some(&midpoint)) {
+            Ok(mut eq) => {
+                eq.iterations += sweeps;
+                return Ok(eq);
+            }
+            Err(err @ DcfError::SolveDidNotConverge { .. }) => last = err,
+            Err(other) => return Err(other),
+        }
+    }
+    Err(last)
 }
 
 /// Symmetric operating point: every node on window `w`.
@@ -524,6 +726,59 @@ mod tests {
         let again = solve_with_guess(&windows, &p, options, Some(&first.taus)).unwrap();
         assert!(again.iterations <= 2, "iterations = {}", again.iterations);
         assert!(again.residual(&windows, &p).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn robust_matches_plain_solve_bitwise_on_success() {
+        let p = params();
+        let options = SolveOptions::default();
+        for windows in [vec![32u32; 5], vec![8, 16, 32, 64, 128], vec![1, 1024, 1, 512]] {
+            let plain = solve(&windows, &p, options).unwrap();
+            let robust = solve_robust(&windows, &p, options).unwrap();
+            assert_eq!(robust.rung, SolveRung::Accelerated);
+            assert!(robust.attempts.is_empty());
+            assert_eq!(robust.equilibrium, plain, "windows {windows:?}");
+        }
+    }
+
+    #[test]
+    fn bisection_safe_mode_agrees_with_plain_solve() {
+        let p = params();
+        for windows in [vec![32u32; 5], vec![8, 16, 32, 64, 128], vec![1, 1024, 1, 512]] {
+            let plain = solve(&windows, &p, SolveOptions::default()).unwrap();
+            let safe = solve_bisection_safe(&windows, &p, 1e-12).unwrap();
+            assert!(safe.residual(&windows, &p).unwrap() < 1e-9, "windows {windows:?}");
+            for i in 0..windows.len() {
+                assert!(
+                    (safe.taus[i] - plain.taus[i]).abs() < 1e-8,
+                    "windows {windows:?} node {i}: {} vs {}",
+                    safe.taus[i],
+                    plain.taus[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_falls_through_to_bisection_with_diagnostics() {
+        let p = params();
+        // One sweep is never enough for the iterative rungs; the ladder
+        // must land on the guaranteed safe mode, carrying both attempts.
+        let starved = SolveOptions { max_iterations: 1, ..SolveOptions::default() };
+        let robust = solve_robust(&[16, 64, 256], &p, starved).unwrap();
+        assert_eq!(robust.rung, SolveRung::Bisection);
+        assert_eq!(
+            robust.attempts.iter().map(|a| a.rung).collect::<Vec<_>>(),
+            vec![SolveRung::Accelerated, SolveRung::Damped]
+        );
+        assert!(robust.equilibrium.residual(&[16, 64, 256], &p).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn robust_propagates_invalid_input_without_retrying() {
+        let p = params();
+        let err = solve_robust(&[0, 4], &p, SolveOptions::default()).unwrap_err();
+        assert!(matches!(err, DcfError::InvalidParameter { .. }));
     }
 
     #[test]

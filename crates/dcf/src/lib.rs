@@ -13,7 +13,10 @@
 //!   explicit-matrix solver used for cross-validation;
 //! * [`fixedpoint`] — the coupled `2n`-equation system linking all nodes
 //!   (paper Eq. (3)), with a guaranteed bisection path for symmetric
-//!   profiles and a damped, warm-startable iteration for arbitrary ones;
+//!   profiles, a damped, warm-startable iteration for arbitrary ones, and
+//!   a fallback ladder ([`solve_robust`]) that degrades from the
+//!   accelerated solver through a damped retry to a guaranteed bisection
+//!   safe mode before ever reporting non-convergence;
 //! * [`cache`] — thread-safe, permutation-canonicalizing memoization of
 //!   fixed-point solutions (a hit is bitwise-identical to a fresh solve);
 //! * [`parallel`] — warm-chained, chunk-parallel profile sweeps and the
@@ -66,9 +69,10 @@ pub mod units;
 pub mod utility;
 
 pub use cache::SolveCache;
-pub use error::DcfError;
+pub use error::{DcfError, SolveAttempt, SolveRung};
 pub use fixedpoint::{
-    solve, solve_symmetric, solve_with_guess, Equilibrium, SolveOptions, SymmetricPoint,
+    solve, solve_robust, solve_symmetric, solve_with_guess, Equilibrium, RobustSolve,
+    SolveOptions, SymmetricPoint,
 };
 pub use parallel::{resolve_threads, solve_sweep, solve_sweep_cached};
 pub use optimal::{efficient_cw, ne_interval, optimal_tau, EfficientNe, NeInterval};

@@ -302,7 +302,7 @@ impl ExplicitChain {
             }
         }
         let diff: f64 = x.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
-        Err(DcfError::SolveDidNotConverge { iterations: max_iters, residual: diff })
+        Err(DcfError::did_not_converge(max_iters, diff))
     }
 
     /// `τ` computed from the explicit stationary distribution: total mass of

@@ -247,3 +247,47 @@ proptest! {
         prop_assert!((min_max_ratio(&alloc) - 1.0).abs() < 1e-12);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Wherever the plain solver converges, the fallback ladder must land
+    /// on rung 1 and return a bitwise-identical equilibrium: the robust
+    /// path may only ever *add* convergence, never change an answer.
+    #[test]
+    fn solve_robust_is_transparent_when_plain_solve_converges(
+        windows in prop::collection::vec(1u32..1024, 2..8),
+        mode in prop_oneof![Just(AccessMode::Basic), Just(AccessMode::RtsCts)],
+    ) {
+        use macgame_dcf::fixedpoint::solve_robust;
+        use macgame_dcf::SolveRung;
+        let p = params(mode);
+        let options = SolveOptions::default();
+        if let Ok(plain) = solve(&windows, &p, options) {
+            let robust = solve_robust(&windows, &p, options).unwrap();
+            prop_assert_eq!(robust.rung, SolveRung::Accelerated);
+            prop_assert!(robust.attempts.is_empty());
+            prop_assert_eq!(&plain.taus, &robust.equilibrium.taus);
+            prop_assert_eq!(&plain.collision_probs, &robust.equilibrium.collision_probs);
+        }
+    }
+
+    /// Starving the iterative rungs forces the ladder past rung 1, and the
+    /// safe-mode answer still agrees with the plain solver to within the
+    /// safe-mode residual gate.
+    #[test]
+    fn starved_ladder_still_agrees_with_the_plain_solver(
+        windows in prop::collection::vec(2u32..512, 2..6),
+        mode in prop_oneof![Just(AccessMode::Basic), Just(AccessMode::RtsCts)],
+    ) {
+        use macgame_dcf::fixedpoint::solve_robust;
+        let p = params(mode);
+        if let Ok(plain) = solve(&windows, &p, SolveOptions::default()) {
+            let starved = SolveOptions { max_iterations: 1, ..SolveOptions::default() };
+            let robust = solve_robust(&windows, &p, starved).unwrap();
+            for (a, b) in plain.taus.iter().zip(&robust.equilibrium.taus) {
+                prop_assert!((a - b).abs() < 1e-6, "τ gap {} vs {}", a, b);
+            }
+        }
+    }
+}

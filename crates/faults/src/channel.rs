@@ -1,0 +1,87 @@
+//! Channel-error and capture-effect injection for the slot engine.
+//!
+//! The Bianchi slot abstraction the analytical model uses is ideal: a
+//! lone transmission always succeeds and a collision always destroys
+//! every frame. Real channels do neither — noise corrupts lone frames
+//! (channel errors) and power imbalance lets one colliding frame survive
+//! (the capture effect). Both change the collision feedback nodes see,
+//! and therefore the backoff dynamics the game is played over.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{require_probability, FaultError};
+
+/// Configuration of slot-outcome fault injection.
+///
+/// All-zero rates make the injector a no-op ([`Self::is_noop`]); engines
+/// constructed with a no-op config take the fault-free code path and
+/// draw nothing from the fault stream, so a zero-rate run is bitwise
+/// identical to a run without any fault plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelFaults {
+    /// Probability that a lone (otherwise successful) transmission is
+    /// corrupted by channel noise and lost.
+    pub error_rate: f64,
+    /// Probability that a collision is *captured*: one of the colliding
+    /// frames (chosen uniformly from the transmitters) is received
+    /// successfully while the rest are lost.
+    pub capture_prob: f64,
+    /// Base seed of the injector's private ChaCha8 stream, independent
+    /// of the engine's backoff RNG.
+    pub seed: u64,
+}
+
+impl ChannelFaults {
+    /// A validated fault configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidParameter`] unless both rates are
+    /// probabilities.
+    pub fn new(error_rate: f64, capture_prob: f64, seed: u64) -> Result<Self, FaultError> {
+        require_probability("error_rate", error_rate)?;
+        require_probability("capture_prob", capture_prob)?;
+        Ok(ChannelFaults { error_rate, capture_prob, seed })
+    }
+
+    /// An injector that never fires.
+    #[must_use]
+    pub fn noop() -> Self {
+        ChannelFaults { error_rate: 0.0, capture_prob: 0.0, seed: 0 }
+    }
+
+    /// Whether both rates are zero — nothing will ever be injected.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.error_rate == 0.0 && self.capture_prob == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(ChannelFaults::new(0.1, 0.3, 7).is_ok());
+        assert!(ChannelFaults::new(-0.1, 0.0, 7).is_err());
+        assert!(ChannelFaults::new(0.0, 1.5, 7).is_err());
+        assert!(ChannelFaults::new(f64::NAN, 0.0, 7).is_err());
+    }
+
+    #[test]
+    fn noop_detection_ignores_seed() {
+        assert!(ChannelFaults::noop().is_noop());
+        assert!(ChannelFaults::new(0.0, 0.0, 99).unwrap().is_noop());
+        assert!(!ChannelFaults::new(0.01, 0.0, 0).unwrap().is_noop());
+        assert!(!ChannelFaults::new(0.0, 0.01, 0).unwrap().is_noop());
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let f = ChannelFaults::new(0.05, 0.25, 11).unwrap();
+        let json = serde_json::to_string(&f).unwrap();
+        let back: ChannelFaults = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+}

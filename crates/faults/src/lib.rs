@@ -1,0 +1,111 @@
+//! Deterministic fault injection for the selfish-MAC workspace.
+//!
+//! The paper's game-theoretic results (Chen & Leneutre, ICDCS 2007) hold
+//! under perfect observation and a static player set; this crate models
+//! the conditions that break those assumptions, so the rest of the
+//! workspace can be exercised — and gated — under them:
+//!
+//! * [`observation`] — a seeded noisy-observation channel perturbing the
+//!   contention-window estimates fed to TFT/Generous TFT (multiplicative
+//!   and additive noise, stale reads, dropped observations). The regime
+//!   Generous TFT exists for (paper Section IV).
+//! * [`channel`] — channel-error and capture-effect injection for the
+//!   slot engine: a lone transmission can still be lost to noise, and a
+//!   collision can still deliver one frame (physical-layer capture).
+//! * [`churn`] — deterministic join/leave/window-reset schedules for the
+//!   multi-hop convergence dynamics (Section VI assumes none of these).
+//!
+//! # Determinism policy
+//!
+//! Every fault source draws from its **own** seeded ChaCha8 stream,
+//! derived from a user seed and a stable label via [`rng::derive_seed`] —
+//! never from the RNG of the system under test. Two invariants follow:
+//!
+//! 1. **Zero-rate identity**: a fault config whose rates are all zero is
+//!    a no-op (`is_noop()` returns `true`), takes the fault-free code
+//!    path, and performs *no* RNG draws — so fault-rate-0 runs are
+//!    bitwise identical to runs with no fault plane at all.
+//! 2. **Thread invariance**: fault streams are advanced only by the
+//!    (deterministic) sequence of injection points of a single engine or
+//!    game, never by worker scheduling, so results are identical at any
+//!    `MACGAME_THREADS` setting.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use core::fmt;
+
+pub mod channel;
+pub mod churn;
+pub mod observation;
+pub mod rng;
+
+pub use channel::ChannelFaults;
+pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
+pub use observation::{ObservationChannel, ObservationFaults};
+
+/// Errors produced when validating fault-injection parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// The offending parameter.
+        name: &'static str,
+        /// Human-readable constraint description.
+        reason: String,
+    },
+}
+
+impl FaultError {
+    /// Convenience constructor for [`FaultError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        FaultError::InvalidParameter { name, reason: reason.into() }
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidParameter { name, reason } => {
+                write!(f, "invalid fault parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Validates that `value` is a probability (finite, in `[0, 1]`).
+pub(crate) fn require_probability(name: &'static str, value: f64) -> Result<(), FaultError> {
+    if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+        return Err(FaultError::invalid(name, format!("must be in [0, 1], got {value}")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_names_the_parameter() {
+        let e = FaultError::invalid("error_rate", "must be in [0, 1], got 2");
+        assert!(e.to_string().contains("error_rate"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<FaultError>();
+    }
+
+    #[test]
+    fn probability_validation() {
+        assert!(require_probability("p", 0.0).is_ok());
+        assert!(require_probability("p", 1.0).is_ok());
+        assert!(require_probability("p", -0.1).is_err());
+        assert!(require_probability("p", 1.1).is_err());
+        assert!(require_probability("p", f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Seed derivation for independent fault streams.
+//!
+//! Each fault source owns a ChaCha8 generator seeded from the user seed
+//! *and* a stable stream label, so (a) distinct fault sources sharing one
+//! user seed are statistically independent, and (b) no fault source ever
+//! consumes randomness from the system under test — adding or removing a
+//! fault source cannot shift any other stream.
+
+use rand_chacha::ChaCha8Rng;
+
+/// Derives a stream-specific 64-bit seed from a base seed, a stable
+/// stream label and an index (e.g. a replica or node id).
+///
+/// Uses FNV-1a over the label bytes followed by SplitMix64-style mixing —
+/// cheap, dependency-free, and stable across platforms and releases.
+#[must_use]
+pub fn derive_seed(base: u64, label: &str, index: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    let mut state = base ^ h.rotate_left(32) ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    rand::splitmix64(&mut state)
+}
+
+/// A ChaCha8 generator for the stream `(base, label, index)`.
+#[must_use]
+pub fn stream_rng(base: u64, label: &str, index: u64) -> ChaCha8Rng {
+    use rand::SeedableRng;
+    ChaCha8Rng::seed_from_u64(derive_seed(base, label, index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(derive_seed(7, "obs", 0), derive_seed(7, "obs", 0));
+        assert_eq!(stream_rng(7, "obs", 0).next_u64(), stream_rng(7, "obs", 0).next_u64());
+    }
+
+    #[test]
+    fn labels_indices_and_bases_separate_streams() {
+        let base = derive_seed(7, "obs", 0);
+        assert_ne!(base, derive_seed(7, "chan", 0));
+        assert_ne!(base, derive_seed(7, "obs", 1));
+        assert_ne!(base, derive_seed(8, "obs", 0));
+    }
+}

@@ -7,6 +7,7 @@
 //! the multi-hop game `G'` — Pareto optimal but in general not globally
 //! optimal (quasi-optimal in the experiments).
 
+use macgame_faults::{ChurnKind, ChurnSchedule};
 use macgame_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
@@ -232,6 +233,184 @@ pub fn check_multihop_ne_threads(
 }
 
 
+/// Re-convergence bookkeeping for one churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconvergenceRecord {
+    /// The event that was applied.
+    pub event: macgame_faults::ChurnEvent,
+    /// Propagation rounds from the event onward that changed the profile
+    /// before the network was stable again (`0` = the event didn't
+    /// perturb the min-matching dynamics at all, e.g. the departed node's
+    /// window had already spread; `None` = the run hit its round guard
+    /// before settling).
+    pub rounds_to_settle: Option<usize>,
+}
+
+/// Trace of TFT min-propagation under a [`ChurnSchedule`].
+///
+/// Departed nodes are marked `None`: they neither transmit nor are heard,
+/// so their neighbors simply stop including them in the min.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnTrace {
+    /// Window profile per round (`None` = node currently away), starting
+    /// with the initial profile.
+    pub rounds: Vec<Vec<Option<u32>>>,
+    /// The final profile.
+    pub final_windows: Vec<Option<u32>>,
+    /// Per-event re-convergence metrics, in application order.
+    pub reconvergence: Vec<ReconvergenceRecord>,
+    /// Whether the dynamics reached a stable profile after the last
+    /// scheduled event (always true within the round guard for valid
+    /// inputs, since min-matching is monotone between events).
+    pub settled: bool,
+}
+
+impl ChurnTrace {
+    /// Whether all *present* nodes ended on a single common window.
+    #[must_use]
+    pub fn active_uniform(&self) -> bool {
+        let mut present = self.final_windows.iter().flatten();
+        match present.next() {
+            Some(first) => present.all(|w| w == first),
+            None => true,
+        }
+    }
+
+    /// The common window of the present nodes if [`Self::active_uniform`].
+    #[must_use]
+    pub fn converged_window(&self) -> Option<u32> {
+        if self.active_uniform() {
+            self.final_windows.iter().flatten().next().copied()
+        } else {
+            None
+        }
+    }
+
+    /// The slowest re-convergence over all settled events.
+    #[must_use]
+    pub fn max_reconvergence_rounds(&self) -> Option<usize> {
+        self.reconvergence.iter().filter_map(|r| r.rounds_to_settle).max()
+    }
+
+    /// Propagation rounds actually run.
+    #[must_use]
+    pub fn rounds_run(&self) -> usize {
+        self.rounds.len() - 1
+    }
+}
+
+/// Runs TFT min-propagation from `initial` while replaying `schedule`:
+/// at the start of each round the events due that round are applied
+/// (leave / join / window reset), then every present node simultaneously
+/// matches the minimum over itself and its present neighbors.
+///
+/// The dynamics are fully serial and draw no randomness, so a trace is a
+/// pure function of `(topology, initial, schedule)` — identical for every
+/// seed-derived schedule replay and every `MACGAME_THREADS` setting.
+///
+/// Per event, the trace records how many extra propagation rounds the
+/// network needed to stabilize again ([`ReconvergenceRecord`]); a `Leave`
+/// of the minimum-holder costs nothing (min-matching never raises a
+/// window), while a low-window `Join` re-triggers up to a diameter's worth
+/// of spreading.
+///
+/// # Errors
+///
+/// Returns [`MultihopError::InvalidInput`] for a profile/topology length
+/// mismatch, a zero initial window, or an event naming a node outside the
+/// topology.
+pub fn churn_converge(
+    topology: &Topology,
+    initial: &[u32],
+    schedule: &ChurnSchedule,
+) -> Result<ChurnTrace, MultihopError> {
+    let n = topology.len();
+    if initial.len() != n {
+        return Err(MultihopError::InvalidInput(format!(
+            "{} windows for {} nodes",
+            initial.len(),
+            n
+        )));
+    }
+    if initial.contains(&0) {
+        return Err(MultihopError::InvalidInput("windows must be at least 1".into()));
+    }
+    let events = schedule.events();
+    if let Some(bad) = events.iter().find(|e| e.node >= n) {
+        return Err(MultihopError::InvalidInput(format!(
+            "churn event names node {} but the network has {n}",
+            bad.node
+        )));
+    }
+    let mut state: Vec<Option<u32>> = initial.iter().map(|&w| Some(w)).collect();
+    let mut rounds = vec![state.clone()];
+    let mut reconvergence: Vec<ReconvergenceRecord> = Vec::with_capacity(events.len());
+    // Events applied but not yet settled: (record index, application round).
+    let mut pending: Vec<(usize, usize)> = Vec::new();
+    let mut next_event = 0usize;
+    // Last round whose *propagation* step moved a window (event
+    // applications themselves don't count: a Leave whose window already
+    // spread perturbs nothing).
+    let mut last_prop_change: Option<usize> = None;
+    let mut settled = false;
+    // Between consecutive events the dynamics are plain monotone
+    // min-matching, so each segment stabilizes within `n` rounds; one
+    // extra round detects stability.
+    let horizon = schedule.last_round().unwrap_or(0) + n + 2;
+    for round in 1..=horizon {
+        let mut applied_any = false;
+        while next_event < events.len() && events[next_event].round <= round {
+            let e = events[next_event];
+            match e.kind {
+                ChurnKind::Leave => state[e.node] = None,
+                ChurnKind::Join { window } | ChurnKind::Reset { window } => {
+                    state[e.node] = Some(window);
+                }
+            }
+            reconvergence.push(ReconvergenceRecord { event: e, rounds_to_settle: None });
+            pending.push((reconvergence.len() - 1, round));
+            applied_any = true;
+            next_event += 1;
+        }
+        let next: Vec<Option<u32>> = (0..n)
+            .map(|i| {
+                state[i].map(|w| {
+                    topology
+                        .neighbors(i)
+                        .iter()
+                        .filter_map(|&j| state[j])
+                        .chain(std::iter::once(w))
+                        .min()
+                        .expect("self always present")
+                })
+            })
+            .collect();
+        let changed_prop = next != state;
+        state = next;
+        rounds.push(state.clone());
+        if changed_prop {
+            last_prop_change = Some(round);
+        }
+        if !changed_prop && !applied_any {
+            for (idx, at) in pending.drain(..) {
+                let settled_in = match last_prop_change {
+                    Some(last) if last >= at => last - at + 1,
+                    _ => 0,
+                };
+                reconvergence[idx].rounds_to_settle = Some(settled_in);
+            }
+            if next_event >= events.len() {
+                settled = true;
+                break;
+            }
+        }
+    }
+    telemetry::counter("multihop.churn.runs", 1);
+    telemetry::counter("multihop.churn.events", events.len() as u64);
+    telemetry::counter("multihop.churn.rounds", (rounds.len() - 1) as u64);
+    Ok(ChurnTrace { rounds, final_windows: state, reconvergence, settled })
+}
+
 /// How a node reacts to (noisy) window observations of its neighbors.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum GraphReaction {
@@ -454,6 +633,127 @@ mod tests {
         let template = macgame_core::GameConfig::builder(2).params(params).build().unwrap();
         let check = check_multihop_ne(&topo, &ws, w_m, &template, 1e-4).unwrap();
         assert!(check.is_ne, "worst deviation: {:?}", check.worst);
+    }
+
+    #[test]
+    fn churn_free_schedule_matches_plain_convergence() {
+        let topo = line(5);
+        let initial = [50u32, 40, 30, 20, 10];
+        let plain = tft_converge(&topo, &initial).unwrap();
+        let churned = churn_converge(&topo, &initial, &ChurnSchedule::none()).unwrap();
+        assert!(churned.settled);
+        assert!(churned.reconvergence.is_empty());
+        let finals: Vec<u32> = churned.final_windows.iter().map(|w| w.unwrap()).collect();
+        assert_eq!(finals, plain.final_windows);
+        assert_eq!(churned.converged_window(), Some(10));
+    }
+
+    #[test]
+    fn leaving_the_min_holder_costs_no_reconvergence() {
+        // Min-matching never raises a window, so once 10 has spread the
+        // origin's departure perturbs nothing.
+        let topo = line(4);
+        let events = vec![macgame_faults::ChurnEvent {
+            round: 10,
+            node: 3,
+            kind: macgame_faults::ChurnKind::Leave,
+        }];
+        let schedule = ChurnSchedule::new(events, 4).unwrap();
+        let trace = churn_converge(&topo, &[40, 30, 20, 10], &schedule).unwrap();
+        assert!(trace.settled);
+        assert_eq!(trace.final_windows, vec![Some(10), Some(10), Some(10), None]);
+        assert_eq!(trace.reconvergence.len(), 1);
+        assert_eq!(trace.reconvergence[0].rounds_to_settle, Some(0));
+    }
+
+    #[test]
+    fn low_window_join_re_spreads_across_the_diameter() {
+        // A converged 4-chain at 40; a node rejoins at window 5 on one end
+        // and the min takes a diameter's worth of rounds to spread again.
+        let topo = line(4);
+        let events = vec![
+            macgame_faults::ChurnEvent {
+                round: 2,
+                node: 0,
+                kind: macgame_faults::ChurnKind::Leave,
+            },
+            macgame_faults::ChurnEvent {
+                round: 8,
+                node: 0,
+                kind: macgame_faults::ChurnKind::Join { window: 5 },
+            },
+        ];
+        let schedule = ChurnSchedule::new(events, 4).unwrap();
+        let trace = churn_converge(&topo, &[40; 4], &schedule).unwrap();
+        assert!(trace.settled);
+        assert_eq!(trace.converged_window(), Some(5));
+        // The join at one end of a diameter-3 line needs 3 spreading rounds.
+        assert_eq!(trace.reconvergence[1].rounds_to_settle, Some(3));
+        assert_eq!(trace.max_reconvergence_rounds(), Some(3));
+    }
+
+    #[test]
+    fn reset_is_pulled_back_down_by_neighbors() {
+        let topo = line(3);
+        let events = vec![macgame_faults::ChurnEvent {
+            round: 5,
+            node: 1,
+            kind: macgame_faults::ChurnKind::Reset { window: 90 },
+        }];
+        let schedule = ChurnSchedule::new(events, 3).unwrap();
+        let trace = churn_converge(&topo, &[20; 3], &schedule).unwrap();
+        assert!(trace.settled);
+        assert_eq!(trace.converged_window(), Some(20));
+        assert_eq!(trace.reconvergence[0].rounds_to_settle, Some(1));
+    }
+
+    #[test]
+    fn churn_trace_is_a_pure_function_of_the_schedule_seed() {
+        let topo = line(10);
+        let initial: Vec<u32> = (1..=10).map(|i| i * 10).collect();
+        let sched_a = ChurnSchedule::random(10, 40, 0.3, 128, 42).unwrap();
+        let sched_b = ChurnSchedule::random(10, 40, 0.3, 128, 42).unwrap();
+        let a = churn_converge(&topo, &initial, &sched_a).unwrap();
+        let b = churn_converge(&topo, &initial, &sched_b).unwrap();
+        assert_eq!(a, b);
+        let sched_c = ChurnSchedule::random(10, 40, 0.3, 128, 43).unwrap();
+        let c = churn_converge(&topo, &initial, &sched_c).unwrap();
+        assert!(a != c || sched_a == sched_c);
+    }
+
+    #[test]
+    fn churn_converge_validation() {
+        let topo = line(3);
+        assert!(churn_converge(&topo, &[1, 2], &ChurnSchedule::none()).is_err());
+        assert!(churn_converge(&topo, &[1, 0, 2], &ChurnSchedule::none()).is_err());
+        let oversized = ChurnSchedule::new(
+            vec![macgame_faults::ChurnEvent {
+                round: 1,
+                node: 7,
+                kind: macgame_faults::ChurnKind::Leave,
+            }],
+            8,
+        )
+        .unwrap();
+        assert!(churn_converge(&topo, &[1, 2, 3], &oversized).is_err());
+    }
+
+    #[test]
+    fn all_nodes_leaving_is_vacuously_uniform() {
+        let topo = line(2);
+        let events = (0..2)
+            .map(|node| macgame_faults::ChurnEvent {
+                round: 3,
+                node,
+                kind: macgame_faults::ChurnKind::Leave,
+            })
+            .collect();
+        let schedule = ChurnSchedule::new(events, 2).unwrap();
+        let trace = churn_converge(&topo, &[8, 8], &schedule).unwrap();
+        assert!(trace.settled);
+        assert!(trace.active_uniform());
+        assert_eq!(trace.converged_window(), None);
+        assert_eq!(trace.final_windows, vec![None, None]);
     }
 
     #[test]

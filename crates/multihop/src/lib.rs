@@ -55,13 +55,14 @@ pub mod stats;
 pub mod topology;
 
 pub use convergence::{
-    check_multihop_ne, check_multihop_ne_threads, noisy_converge, tft_converge, ConvergenceTrace,
-    GraphReaction, MultihopNeCheck, NoisyTrace,
+    check_multihop_ne, check_multihop_ne_threads, churn_converge, noisy_converge, tft_converge,
+    ChurnTrace, ConvergenceTrace, GraphReaction, MultihopNeCheck, NoisyTrace, ReconvergenceRecord,
 };
 pub use error::MultihopError;
 pub use geometry::{Arena, Point};
 pub use localgame::{
-    analytic_p_hn, local_optimal_windows, local_optimal_windows_threads, local_taus, LocalRule,
+    analytic_p_hn, hidden_node_utility, local_optimal_windows, local_optimal_windows_threads,
+    local_taus, LocalRule,
 };
 pub use metrics::{evaluate_quasi_optimality, unilateral_quality, QuasiOptimality};
 pub use mobility::{Mobility, WaypointConfig};

@@ -202,3 +202,53 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A churn trace is a pure function of `(topology, initial, schedule)`:
+    /// two runs of the same seeded schedule are identical, round for round
+    /// — the dynamics are serial, so this is also thread invariance.
+    #[test]
+    fn churn_traces_are_seed_deterministic(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        seed in 0u64..300,
+        rate in 0.0f64..0.5,
+        base in 2u32..200,
+    ) {
+        use macgame_faults::ChurnSchedule;
+        use macgame_multihop::convergence::churn_converge;
+        let topology = Topology::grid(rows, cols);
+        let n = topology.len();
+        let initial: Vec<u32> = (0..n).map(|i| base + i as u32).collect();
+        let schedule = ChurnSchedule::random(n, 30, rate, 256, seed).unwrap();
+        let a = churn_converge(&topology, &initial, &schedule).unwrap();
+        let b = churn_converge(&topology, &initial, &schedule).unwrap();
+        prop_assert_eq!(&a.rounds, &b.rounds);
+        prop_assert_eq!(&a.final_windows, &b.final_windows);
+        prop_assert_eq!(a.settled, b.settled);
+        prop_assert_eq!(a.max_reconvergence_rounds(), b.max_reconvergence_rounds());
+    }
+
+    /// With an empty churn schedule, the churn dynamics reduce exactly to
+    /// plain TFT min-propagation: same fixed point, everyone present.
+    #[test]
+    fn churn_free_dynamics_match_plain_tft(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        base in 1u32..500,
+    ) {
+        use macgame_faults::ChurnSchedule;
+        use macgame_multihop::convergence::churn_converge;
+        let topology = Topology::grid(rows, cols);
+        let n = topology.len();
+        let initial: Vec<u32> = (0..n).map(|i| base + (i as u32 * 13) % 97).collect();
+        let plain = tft_converge(&topology, &initial).unwrap();
+        let churned = churn_converge(&topology, &initial, &ChurnSchedule::none()).unwrap();
+        prop_assert!(churned.settled);
+        prop_assert_eq!(churned.converged_window(), plain.converged_window());
+        let present: Vec<u32> = churned.final_windows.iter().map(|w| w.unwrap()).collect();
+        prop_assert_eq!(present, plain.final_windows);
+    }
+}

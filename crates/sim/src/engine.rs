@@ -12,8 +12,9 @@
 //! measure one interval.
 
 use macgame_dcf::MicroSecs;
+use macgame_faults::ChannelFaults;
 use macgame_telemetry as telemetry;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +40,33 @@ pub enum SlotOutcome {
         /// Number of simultaneous transmitters.
         transmitters: usize,
     },
+    /// Fault injection only: a lone transmission was corrupted by channel
+    /// noise. The sender backs off as if it had collided; the channel is
+    /// occupied for a full success duration.
+    ChannelError {
+        /// The transmitting node whose frame was lost.
+        node: usize,
+    },
+    /// Fault injection only: a collision was *captured* — one frame was
+    /// received despite the overlap. The winner behaves as on success,
+    /// every other transmitter backs off as on collision.
+    Capture {
+        /// The node whose frame survived.
+        winner: usize,
+        /// Number of simultaneous transmitters (including the winner).
+        transmitters: usize,
+    },
+}
+
+/// Private state of the slot-outcome fault injector: its configuration,
+/// its own ChaCha8 stream (never the engine's backoff RNG), and counts of
+/// what it has injected so far.
+#[derive(Debug, Clone)]
+struct FaultState {
+    config: ChannelFaults,
+    rng: ChaCha8Rng,
+    errors: u64,
+    captures: u64,
 }
 
 /// The single-hop DCF simulation engine.
@@ -67,6 +95,7 @@ pub struct Engine {
     queues: Vec<u64>,
     arrivals: Vec<u64>,
     last_slot_duration: MicroSecs,
+    faults: Option<FaultState>,
 }
 
 impl Engine {
@@ -90,7 +119,59 @@ impl Engine {
             queues: vec![0; n],
             arrivals: vec![0; n],
             last_slot_duration: config.params().sigma(),
+            faults: None,
         }
+    }
+
+    /// Creates an engine with slot-outcome fault injection attached.
+    ///
+    /// The injector draws from its own ChaCha8 stream derived from
+    /// `faults.seed` — never from the engine's backoff RNG — so attaching
+    /// it cannot perturb the contention process except through the faults
+    /// it actually injects. A no-op configuration
+    /// ([`ChannelFaults::is_noop`]) attaches nothing at all: the engine is
+    /// bitwise identical to [`Engine::new`] with the same config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if either fault rate is not a
+    /// probability.
+    pub fn with_faults(config: &SimConfig, faults: ChannelFaults) -> Result<Self, SimError> {
+        // Re-validate: the fields are public, so a hand-rolled struct may
+        // bypass `ChannelFaults::new`.
+        let faults = ChannelFaults::new(faults.error_rate, faults.capture_prob, faults.seed)
+            .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+        let mut engine = Engine::new(config);
+        if !faults.is_noop() {
+            engine.faults = Some(FaultState {
+                rng: macgame_faults::rng::stream_rng(faults.seed, "sim.channel", 0),
+                config: faults,
+                errors: 0,
+                captures: 0,
+            });
+        }
+        Ok(engine)
+    }
+
+    /// The attached fault configuration, if any. `None` both for plain
+    /// engines and for no-op fault configs.
+    #[must_use]
+    pub fn channel_faults(&self) -> Option<&ChannelFaults> {
+        self.faults.as_ref().map(|f| &f.config)
+    }
+
+    /// Number of lone transmissions corrupted by injected channel errors
+    /// so far (0 without fault injection).
+    #[must_use]
+    pub fn channel_error_count(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.errors)
+    }
+
+    /// Number of collisions resolved by injected capture so far (0
+    /// without fault injection).
+    #[must_use]
+    pub fn capture_count(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.captures)
     }
 
     /// Current queue length of `node` (always 0 under saturated traffic —
@@ -212,29 +293,66 @@ impl Engine {
             }
         }
         let timings = self.config.params().timings();
-        let outcome = match self.transmit_buffer.len() {
-            0 => {
-                self.clock += self.config.params().sigma();
-                SlotOutcome::Idle
-            }
-            1 => {
-                self.clock += timings.success_time;
-                SlotOutcome::Success { node: self.transmit_buffer[0] }
-            }
-            k => {
-                self.clock += timings.collision_time;
-                SlotOutcome::Collision { transmitters: k }
-            }
+        let mut outcome = match self.transmit_buffer.len() {
+            0 => SlotOutcome::Idle,
+            1 => SlotOutcome::Success { node: self.transmit_buffer[0] },
+            k => SlotOutcome::Collision { transmitters: k },
         };
+        // Fault injection rewrites the ideal outcome before anything is
+        // resolved. Decision draws are guarded by `rate > 0.0` so each
+        // fault stream advances only for the faults it can inject.
+        if let Some(faults) = self.faults.as_mut() {
+            match outcome {
+                SlotOutcome::Success { node }
+                    if faults.config.error_rate > 0.0
+                        && faults.rng.gen_bool(faults.config.error_rate) =>
+                {
+                    faults.errors += 1;
+                    telemetry::counter("sim.engine.channel_errors", 1);
+                    outcome = SlotOutcome::ChannelError { node };
+                }
+                SlotOutcome::Collision { transmitters }
+                    if faults.config.capture_prob > 0.0
+                        && faults.rng.gen_bool(faults.config.capture_prob) =>
+                {
+                    faults.captures += 1;
+                    telemetry::counter("sim.engine.captures", 1);
+                    let winner = self.transmit_buffer[faults.rng.gen_range(0..transmitters)];
+                    outcome = SlotOutcome::Capture { winner, transmitters };
+                }
+                _ => {}
+            }
+        }
+        // A corrupted lone frame and a captured frame both occupy the
+        // channel for a full successful transmission.
+        let duration = match outcome {
+            SlotOutcome::Idle => self.config.params().sigma(),
+            SlotOutcome::Success { .. }
+            | SlotOutcome::ChannelError { .. }
+            | SlotOutcome::Capture { .. } => timings.success_time,
+            SlotOutcome::Collision { .. } => timings.collision_time,
+        };
+        self.clock += duration;
         // Resolve transmitters first, then step everyone else's counter.
         match outcome {
             SlotOutcome::Idle => {}
-            SlotOutcome::Success { node } => {
+            SlotOutcome::Success { node } | SlotOutcome::Capture { winner: node, .. } => {
                 self.nodes[node].on_success(&mut self.rng);
                 self.delay.record_success(node, self.total_slots);
                 if !self.config.traffic().is_saturated() {
                     self.queues[node] -= 1;
                 }
+                if matches!(outcome, SlotOutcome::Capture { .. }) {
+                    for idx in 0..self.transmit_buffer.len() {
+                        let i = self.transmit_buffer[idx];
+                        if i != node {
+                            self.nodes[i].on_collision(&mut self.rng);
+                        }
+                    }
+                }
+            }
+            SlotOutcome::ChannelError { node } => {
+                self.nodes[node].on_collision(&mut self.rng);
             }
             SlotOutcome::Collision { .. } => {
                 for idx in 0..self.transmit_buffer.len() {
@@ -250,11 +368,7 @@ impl Engine {
                 node.observe_slot();
             }
         }
-        self.last_slot_duration = match outcome {
-            SlotOutcome::Idle => self.config.params().sigma(),
-            SlotOutcome::Success { .. } => timings.success_time,
-            SlotOutcome::Collision { .. } => timings.collision_time,
-        };
+        self.last_slot_duration = duration;
         self.total_slots += 1;
         outcome
     }
@@ -291,11 +405,7 @@ impl Engine {
         let clock_start = self.clock;
         let mut channel = ChannelCounts::default();
         for _ in 0..slots {
-            match self.step() {
-                SlotOutcome::Idle => channel.idle += 1,
-                SlotOutcome::Success { .. } => channel.success += 1,
-                SlotOutcome::Collision { .. } => channel.collision += 1,
-            }
+            Self::count_outcome(&mut channel, self.step());
         }
         self.finish_report(&baseline, clock_start, channel)
     }
@@ -310,13 +420,23 @@ impl Engine {
         let deadline = self.clock + duration;
         let mut channel = ChannelCounts::default();
         while self.clock < deadline {
-            match self.step() {
-                SlotOutcome::Idle => channel.idle += 1,
-                SlotOutcome::Success { .. } => channel.success += 1,
-                SlotOutcome::Collision { .. } => channel.collision += 1,
-            }
+            Self::count_outcome(&mut channel, self.step());
         }
         self.finish_report(&baseline, clock_start, channel)
+    }
+
+    /// Maps an outcome to the channel counters. Injected outcomes fold
+    /// into the ideal categories by what the channel delivered: a capture
+    /// delivered one frame (success), a channel error delivered none
+    /// (collision) — so `ChannelCounts` keeps its shape and goldens.
+    fn count_outcome(channel: &mut ChannelCounts, outcome: SlotOutcome) {
+        match outcome {
+            SlotOutcome::Idle => channel.idle += 1,
+            SlotOutcome::Success { .. } | SlotOutcome::Capture { .. } => channel.success += 1,
+            SlotOutcome::Collision { .. } | SlotOutcome::ChannelError { .. } => {
+                channel.collision += 1
+            }
+        }
     }
 
     fn finish_report(
@@ -483,6 +603,79 @@ mod tests {
         let r = e.run_slots(10_000);
         assert_eq!(r.node_stats[0].collisions, 0);
         assert_eq!(r.channel.collision, 0);
+    }
+
+    #[test]
+    fn noop_faults_are_bitwise_identical_to_no_faults() {
+        let config = SimConfig::builder().symmetric(5, 32).seed(21).build().unwrap();
+        let mut plain = Engine::new(&config);
+        let mut faulted = Engine::with_faults(&config, ChannelFaults::noop()).unwrap();
+        assert!(faulted.channel_faults().is_none());
+        for _ in 0..5_000 {
+            assert_eq!(plain.step(), faulted.step());
+        }
+        assert_eq!(plain.clock(), faulted.clock());
+        let ra = plain.run_slots(20_000);
+        let rb = faulted.run_slots(20_000);
+        assert_eq!(ra, rb);
+        assert_eq!(faulted.channel_error_count(), 0);
+        assert_eq!(faulted.capture_count(), 0);
+    }
+
+    #[test]
+    fn fault_injection_is_seed_deterministic() {
+        let config = SimConfig::builder().symmetric(4, 16).seed(3).build().unwrap();
+        let faults = ChannelFaults::new(0.1, 0.3, 17).unwrap();
+        let mut a = Engine::with_faults(&config, faults).unwrap();
+        let mut b = Engine::with_faults(&config, faults).unwrap();
+        for _ in 0..10_000 {
+            assert_eq!(a.step(), b.step());
+        }
+        assert_eq!(a.channel_error_count(), b.channel_error_count());
+        assert_eq!(a.capture_count(), b.capture_count());
+        assert!(a.channel_error_count() > 0, "error rate 0.1 must fire in 10k slots");
+        assert!(a.capture_count() > 0, "capture prob 0.3 must fire in 10k slots");
+    }
+
+    #[test]
+    fn certain_channel_error_kills_every_lone_transmission() {
+        let config = SimConfig::builder().symmetric(3, 16).seed(6).build().unwrap();
+        let faults = ChannelFaults::new(1.0, 0.0, 1).unwrap();
+        let mut e = Engine::with_faults(&config, faults).unwrap();
+        let r = e.run_slots(20_000);
+        // Every would-be success is corrupted: nothing is ever delivered.
+        assert_eq!(r.channel.success, 0);
+        assert!(e.channel_error_count() > 0);
+        assert_eq!(e.capture_count(), 0);
+        let delivered: u64 = r.node_stats.iter().map(|s| s.successes).sum();
+        assert_eq!(delivered, 0);
+    }
+
+    #[test]
+    fn certain_capture_turns_collisions_into_deliveries() {
+        let config = SimConfig::builder().symmetric(4, 4).seed(10).build().unwrap();
+        let faults = ChannelFaults::new(0.0, 1.0, 2).unwrap();
+        let mut e = Engine::with_faults(&config, faults).unwrap();
+        let mut captures = 0u64;
+        let mut winners_deliver = true;
+        for _ in 0..20_000 {
+            if let SlotOutcome::Capture { winner, transmitters } = e.step() {
+                captures += 1;
+                winners_deliver &= transmitters >= 2 && winner < 4;
+            }
+        }
+        assert!(captures > 0, "W=4 with 4 nodes must collide, and every collision captures");
+        assert!(winners_deliver);
+        assert_eq!(e.capture_count(), captures);
+    }
+
+    #[test]
+    fn with_faults_rejects_invalid_rates() {
+        let config = SimConfig::builder().symmetric(2, 8).seed(1).build().unwrap();
+        let bad = ChannelFaults { error_rate: 1.5, capture_prob: 0.0, seed: 0 };
+        assert!(Engine::with_faults(&config, bad).is_err());
+        let nan = ChannelFaults { error_rate: 0.0, capture_prob: f64::NAN, seed: 0 };
+        assert!(Engine::with_faults(&config, nan).is_err());
     }
 
     #[test]

@@ -90,7 +90,8 @@ impl Trace {
     }
 
     /// Compact one-character-per-slot timeline of the retained window:
-    /// `.` idle, digit = successful transmitter (mod 10), `X` collision.
+    /// `.` idle, digit = successful transmitter (mod 10), `X` collision,
+    /// `E` injected channel error, `C` injected capture.
     #[must_use]
     pub fn timeline(&self) -> String {
         self.to_vec()
@@ -101,6 +102,8 @@ impl Trace {
                     char::from_digit((node % 10) as u32, 10).expect("mod 10 digit")
                 }
                 SlotOutcome::Collision { .. } => 'X',
+                SlotOutcome::ChannelError { .. } => 'E',
+                SlotOutcome::Capture { .. } => 'C',
             })
             .collect()
     }
@@ -133,7 +136,9 @@ mod tests {
         t.record(ev(1, SlotOutcome::Success { node: 3 }));
         t.record(ev(2, SlotOutcome::Collision { transmitters: 2 }));
         t.record(ev(3, SlotOutcome::Success { node: 12 }));
-        assert_eq!(t.timeline(), ".3X2");
+        t.record(ev(4, SlotOutcome::ChannelError { node: 1 }));
+        t.record(ev(5, SlotOutcome::Capture { winner: 0, transmitters: 3 }));
+        assert_eq!(t.timeline(), ".3X2EC");
     }
 
     #[test]

@@ -173,3 +173,67 @@ proptest! {
         prop_assert!(delivered <= offered);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// An engine carrying a zero-rate fault plane is bitwise identical to
+    /// an engine with no fault plane at all — same report, every field,
+    /// for any profile and seed.
+    #[test]
+    fn zero_rate_fault_engine_is_bitwise_identical(
+        windows in prop::collection::vec(1u32..512, 1..8),
+        seed in 0u64..500,
+        mode in any_mode(),
+        slots in 1_000u64..20_000,
+    ) {
+        let params = DcfParams::builder().access_mode(mode).build().unwrap();
+        let config = SimConfig::builder()
+            .params(params)
+            .windows(windows)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let plain = Engine::new(&config).run_slots(slots);
+        let mut faulted = Engine::with_faults(&config, macgame_faults::ChannelFaults::noop()).unwrap();
+        let report = faulted.run_slots(slots);
+        prop_assert_eq!(plain, report);
+        prop_assert_eq!(faulted.channel_error_count(), 0);
+        prop_assert_eq!(faulted.capture_count(), 0);
+    }
+
+    /// Injected channel events are bounded by the slot outcomes they can
+    /// act on, and the faulted run remains seed-deterministic.
+    #[test]
+    fn fault_injection_is_bounded_and_deterministic(
+        windows in prop::collection::vec(1u32..256, 2..6),
+        seed in 0u64..200,
+        error_rate in 0.0f64..0.5,
+        capture_prob in 0.0f64..0.5,
+    ) {
+        let config = SimConfig::builder()
+            .windows(windows)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let faults =
+            macgame_faults::ChannelFaults::new(error_rate, capture_prob, seed ^ 0x5eed).unwrap();
+        let mut a = Engine::with_faults(&config, faults).unwrap();
+        let ra = a.run_slots(5_000);
+        let mut b = Engine::with_faults(&config, faults).unwrap();
+        let rb = b.run_slots(5_000);
+        prop_assert_eq!(&ra, &rb);
+        prop_assert_eq!(a.channel_error_count(), b.channel_error_count());
+        prop_assert_eq!(a.capture_count(), b.capture_count());
+        // Errors only corrupt would-be successes; captures only rescue
+        // collisions.
+        prop_assert!(a.channel_error_count() <= ra.channel.collision);
+        prop_assert!(a.capture_count() <= ra.channel.success);
+        if error_rate == 0.0 {
+            prop_assert_eq!(a.channel_error_count(), 0);
+        }
+        if capture_prob == 0.0 {
+            prop_assert_eq!(a.capture_count(), 0);
+        }
+    }
+}

@@ -87,10 +87,11 @@ struct TimingData {
 ///
 /// Counter and histogram updates go to one of `SHARDS` internal shards
 /// selected by hashing the calling thread's id; gauges and span timings
-/// (both low-rate, driver-side) share single mutexes. [`Self::snapshot`]
-/// merges the shards with order-independent operations (integer sums, exact
-/// `min`/`max`), so deterministic workloads produce bitwise-identical
-/// snapshots regardless of `MACGAME_THREADS`.
+/// (both low-rate, driver-side) share single mutexes. Gauges merge by
+/// `max` at record time, and [`Self::snapshot`] merges the shards with
+/// order-independent operations (integer sums, exact `min`/`max`), so
+/// deterministic workloads produce bitwise-identical snapshots regardless
+/// of `MACGAME_THREADS`.
 pub struct CollectingRecorder {
     bounds: Vec<f64>,
     shards: Vec<Mutex<Shard>>,
@@ -209,7 +210,15 @@ impl Recorder for CollectingRecorder {
         if !value.is_finite() {
             return;
         }
-        self.gauges.lock().unwrap().insert(name, value);
+        // Merge-by-max: the retained value is the maximum ever set, which
+        // is independent of the order concurrent writers arrive in —
+        // last-write-wins would leak thread scheduling into the snapshot.
+        self.gauges
+            .lock()
+            .unwrap()
+            .entry(name)
+            .and_modify(|v| *v = v.max(value))
+            .or_insert(value);
     }
 
     fn histogram_record(&self, name: &'static str, value: f64) {
@@ -281,7 +290,8 @@ impl TimingSnapshot {
 pub struct Snapshot {
     /// Monotonic counters, merged across shards by integer addition.
     pub counters: BTreeMap<String, u64>,
-    /// Last-write-wins gauges (serial driver code only).
+    /// Gauges, merged by `max` over every value ever set (order- and
+    /// thread-independent).
     pub gauges: BTreeMap<String, f64>,
     /// Fixed-bucket histograms, merged across shards by integer addition.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
@@ -520,6 +530,50 @@ mod tests {
         let snapshot = recorder.snapshot();
         assert_eq!(snapshot.gauge("test.gauge"), None);
         assert_eq!(snapshot.gauge("test.gauge2"), Some(1.25));
+    }
+
+    #[test]
+    fn gauges_merge_by_max() {
+        let recorder = CollectingRecorder::new();
+        recorder.gauge_set("test.gauge", 3.0);
+        recorder.gauge_set("test.gauge", 1.0);
+        recorder.gauge_set("test.gauge", 2.0);
+        assert_eq!(recorder.snapshot().gauge("test.gauge"), Some(3.0));
+        recorder.gauge_set("test.neg", -5.0);
+        recorder.gauge_set("test.neg", -9.0);
+        assert_eq!(recorder.snapshot().gauge("test.neg"), Some(-5.0));
+    }
+
+    #[test]
+    fn gauge_bytes_are_thread_layout_invariant() {
+        // The same multiset of gauge writes, delivered serially and from
+        // racing threads in arbitrary order, must render identical bytes.
+        let serial = CollectingRecorder::new();
+        for i in 0..64u64 {
+            serial.gauge_set("inv.gauge", (i % 17) as f64);
+            serial.gauge_set("inv.other", -((i % 5) as f64));
+        }
+        let expected = serial.snapshot().deterministic_json();
+        for threads in [1usize, 2, 8] {
+            let racing = CollectingRecorder::new();
+            std::thread::scope(|scope| {
+                let chunk = 64 / threads as u64;
+                for t in 0..threads as u64 {
+                    let racing = &racing;
+                    scope.spawn(move || {
+                        for i in (t * chunk)..((t + 1) * chunk) {
+                            racing.gauge_set("inv.gauge", (i % 17) as f64);
+                            racing.gauge_set("inv.other", -((i % 5) as f64));
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                racing.snapshot().deterministic_json(),
+                expected,
+                "gauge bytes diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -26,8 +26,10 @@
 //! * **Counters** and **histograms** merge across threads with integer
 //!   addition only, so for a deterministic workload their values are
 //!   bitwise identical no matter how many worker threads ran it.
-//! * **Gauges** are last-write-wins and must only be set from serial driver
-//!   code (never inside a parallel region).
+//! * **Gauges** merge by `max` over every value ever set: concurrent
+//!   writers from a parallel region converge on the same retained value
+//!   regardless of scheduling (a last-write-wins rule would leak thread
+//!   timing into the snapshot bytes).
 //! * **Span timings** are wall-clock and inherently nondeterministic; they
 //!   are quarantined in a separate `timings` section of the JSON snapshot
 //!   so that everything outside that section is byte-stable across runs

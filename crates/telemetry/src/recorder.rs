@@ -9,10 +9,11 @@ pub trait Recorder: Send + Sync {
     /// Add `delta` to the monotonic counter `name`.
     fn counter_add(&self, name: &'static str, delta: u64);
 
-    /// Set the gauge `name` to `value` (last write wins).
+    /// Set the gauge `name` to `value`.
     ///
-    /// Gauges must only be set from serial driver code — see the crate-level
-    /// determinism policy.
+    /// Deterministic recorders retain the **maximum** value ever set, so
+    /// the outcome does not depend on the order concurrent writers arrive
+    /// in — see the crate-level determinism policy.
     fn gauge_set(&self, name: &'static str, value: f64);
 
     /// Record one observation of `value` into the fixed-bucket histogram

@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w_star = efficient_ne(&two)?.window;
     let field: Vec<Entrant> = vec![
         Entrant::new("tft", move || Box::new(Tft::new(w_star))),
-        Entrant::new("generous-tft", move || Box::new(GenerousTft::new(w_star, 2, 0.9))),
+        Entrant::new("generous-tft", move || Box::new(GenerousTft::try_new(w_star, 2, 0.9).expect("valid GTFT parameters"))),
         Entrant::new("aggressor", move || Box::new(Constant::new((w_star / 8).max(1)))),
         Entrant::new("best-response", move || Box::new(BestResponse::new(w_star))),
     ];

@@ -98,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let players: Vec<Box<dyn Strategy>> = (0..n)
             .map(|_| {
                 if generous {
-                    Box::new(GenerousTft::new(w_star, 3, 0.8)) as Box<dyn Strategy>
+                    Box::new(GenerousTft::try_new(w_star, 3, 0.8).expect("valid GTFT parameters")) as Box<dyn Strategy>
                 } else {
                     Box::new(Tft::new(w_star)) as Box<dyn Strategy>
                 }

@@ -20,6 +20,13 @@ cargo run --release -p macgame-bench --bin repro -- conformance --quick
 echo "==> telemetry profile (repro -- profile --quick)"
 cargo run --release -p macgame-bench --bin repro -- profile --quick
 
+echo "==> robustness plane (repro -- robustness --quick, thread-invariance check)"
+MACGAME_THREADS=1 cargo run --release -p macgame-bench --bin repro -- robustness --quick
+cp artifacts/ROBUSTNESS.json artifacts/ROBUSTNESS.threads1.json
+MACGAME_THREADS=2 cargo run --release -p macgame-bench --bin repro -- robustness --quick
+cmp artifacts/ROBUSTNESS.threads1.json artifacts/ROBUSTNESS.json
+rm artifacts/ROBUSTNESS.threads1.json
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -131,7 +131,7 @@ fn gtft_resists_observation_noise_better_than_tft() {
         let players: Vec<Box<dyn Strategy>> = (0..5)
             .map(|_| {
                 if generous {
-                    Box::new(GenerousTft::new(w_star, 3, 0.8)) as Box<dyn Strategy>
+                    Box::new(GenerousTft::try_new(w_star, 3, 0.8).unwrap()) as Box<dyn Strategy>
                 } else {
                     Box::new(Tft::new(w_star)) as Box<dyn Strategy>
                 }

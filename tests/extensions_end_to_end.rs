@@ -119,7 +119,7 @@ fn hill_climber_among_tft_settles() {
         .unwrap();
     let w_star = efficient_ne(&game).unwrap().window;
     let players: Vec<Box<dyn Strategy>> = vec![
-        Box::new(HillClimb::new(w_star, 8)),
+        Box::new(HillClimb::try_new(w_star, 8).unwrap()),
         Box::new(Tft::new(w_star)),
         Box::new(Tft::new(w_star)),
         Box::new(Tft::new(w_star)),
