@@ -37,6 +37,7 @@ const EXPERIMENTS: &[&str] = &[
     "conformance",
     "profile",
     "robustness",
+    "lint",
 ];
 
 fn main() {
@@ -82,7 +83,8 @@ fn main() {
             "conformance" => conformance(quick),
             "profile" => profile(quick),
             "robustness" => robustness(quick),
-            _ => unreachable!(),
+            "lint" => lint(),
+            _ => unreachable!(), // PANIC-POLICY: unreachable: experiment names are validated against EXPERIMENTS above
         };
         if let Err(e) = result {
             eprintln!("experiment {name} failed: {e}");
@@ -729,4 +731,35 @@ fn robustness(quick: bool) -> Result<(), BenchError> {
         )));
     }
     Ok(())
+}
+
+fn lint() -> Result<(), BenchError> {
+    let cwd = std::env::current_dir().map_err(BenchError::Io)?;
+    let root = macgame_lint::find_workspace_root(&cwd)
+        .ok_or_else(|| macgame_lint::LintError::NotAWorkspace(cwd.clone()))?;
+    println!(
+        "workspace invariant checks: determinism (hash containers, wall \
+         clocks, entropy RNGs), panic policy, API discipline, manifests"
+    );
+    let report = macgame_lint::run_lint(&root)?;
+    let rows = report.table_rows();
+    if !rows.is_empty() {
+        println!("{}", text_table(&["rule", "location", "status", "detail"], &rows));
+    }
+    let path = write_raw_artifact("LINT", &report.to_json())?;
+    println!("artifact: {}", path.display());
+    let waived = report.findings.len() - report.unwaived().len();
+    println!(
+        "{} file(s), {} manifest(s) scanned: {} finding(s), {} waived, {} unwaived",
+        report.files_scanned,
+        report.manifests_checked,
+        report.findings.len(),
+        waived,
+        report.unwaived().len()
+    );
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(BenchError::LintFindings(report.unwaived().len()))
+    }
 }

@@ -145,8 +145,8 @@ pub fn myopia_table(populations: &[usize]) -> Result<Vec<MyopiaRow>, BenchError>
             n,
             w_star,
             myopic_windows: (
-                *out.profile.iter().min().expect("nonempty"),
-                *out.profile.iter().max().expect("nonempty"),
+                *out.profile.iter().min().expect("nonempty"), // PANIC-POLICY: invariant: nonempty
+                *out.profile.iter().max().expect("nonempty"), // PANIC-POLICY: invariant: nonempty
             ),
             welfare_ratio: out.welfare_ratio(),
         });

@@ -128,7 +128,7 @@ pub fn tournament_ranking(stages: usize) -> Result<Vec<Standing>, BenchError> {
     let w_star = efficient_ne(&two)?.window;
     let field: Vec<Entrant> = vec![
         Entrant::new("tft", move || Box::new(Tft::new(w_star))),
-        Entrant::new("generous-tft", move || Box::new(GenerousTft::try_new(w_star, 2, 0.9).expect("valid GTFT parameters"))),
+        Entrant::new("generous-tft", move || Box::new(GenerousTft::try_new(w_star, 2, 0.9).expect("valid GTFT parameters"))), // PANIC-POLICY: constant parameters are valid by construction
         Entrant::new("aggressor", move || Box::new(Constant::new((w_star / 8).max(1)))),
         Entrant::new("best-response", move || Box::new(BestResponse::new(w_star))),
     ];
@@ -151,7 +151,7 @@ pub fn evolutionary_shares(
     let w_star = efficient_ne(&two)?.window;
     let field: Vec<Entrant> = vec![
         Entrant::new("tft", move || Box::new(Tft::new(w_star))),
-        Entrant::new("generous-tft", move || Box::new(GenerousTft::try_new(w_star, 2, 0.9).expect("valid GTFT parameters"))),
+        Entrant::new("generous-tft", move || Box::new(GenerousTft::try_new(w_star, 2, 0.9).expect("valid GTFT parameters"))), // PANIC-POLICY: constant parameters are valid by construction
         Entrant::new("aggressor", move || Box::new(Constant::new((w_star / 8).max(1)))),
         Entrant::new("best-response", move || Box::new(BestResponse::new(w_star))),
     ];

@@ -59,12 +59,12 @@ impl FigureSeries {
     /// Panics on an empty series.
     #[must_use]
     pub fn shape(&self) -> FigureShape {
-        assert!(!self.points.is_empty(), "empty series");
+        assert!(!self.points.is_empty(), "empty series"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         let best = self
             .points
             .iter()
             .max_by(|a, b| a.u_over_c.total_cmp(&b.u_over_c))
-            .expect("nonempty");
+            .expect("nonempty"); // PANIC-POLICY: invariant: nonempty
         let lo_w = (f64::from(best.window) * 0.8) as u32;
         let hi_w = (f64::from(best.window) * 1.2) as u32;
         let near_min = self
@@ -76,8 +76,8 @@ impl FigureSeries {
         FigureShape {
             argmax_window: best.window,
             max_value: best.u_over_c,
-            at_min_window: self.points.first().expect("nonempty").u_over_c,
-            at_max_window: self.points.last().expect("nonempty").u_over_c,
+            at_min_window: self.points.first().expect("nonempty").u_over_c, // PANIC-POLICY: invariant: nonempty
+            at_max_window: self.points.last().expect("nonempty").u_over_c, // PANIC-POLICY: invariant: nonempty
             flatness_near_optimum: if best.u_over_c != 0.0 {
                 (best.u_over_c - near_min) / best.u_over_c.abs()
             } else {
@@ -99,7 +99,7 @@ pub fn window_grid(w_max: u32) -> Vec<u32> {
         let next = w + (w / 8).max(1);
         w = next;
     }
-    if *grid.last().expect("nonempty") != w_max {
+    if *grid.last().expect("nonempty") != w_max { // PANIC-POLICY: invariant: nonempty
         grid.push(w_max);
     }
     grid

@@ -41,6 +41,10 @@ pub enum BenchError {
     Conformance(macgame_conformance::ConformanceError),
     /// Fault-injection configuration error.
     Faults(macgame_faults::FaultError),
+    /// Static-analysis harness error (I/O or workspace-shape trouble).
+    Lint(macgame_lint::LintError),
+    /// The workspace lint pass found unwaived violations.
+    LintFindings(usize),
 }
 
 impl fmt::Display for BenchError {
@@ -54,6 +58,10 @@ impl fmt::Display for BenchError {
             BenchError::Json(e) => write!(f, "serialization error: {e}"),
             BenchError::Conformance(e) => write!(f, "conformance error: {e}"),
             BenchError::Faults(e) => write!(f, "fault-injection error: {e}"),
+            BenchError::Lint(e) => write!(f, "lint error: {e}"),
+            BenchError::LintFindings(n) => {
+                write!(f, "lint: {n} unwaived finding(s); fix or waive in lint-allow.toml")
+            }
         }
     }
 }
@@ -69,6 +77,8 @@ impl std::error::Error for BenchError {
             BenchError::Json(e) => Some(e),
             BenchError::Conformance(e) => Some(e),
             BenchError::Faults(e) => Some(e),
+            BenchError::Lint(e) => Some(e),
+            BenchError::LintFindings(_) => None,
         }
     }
 }
@@ -118,5 +128,11 @@ impl From<macgame_conformance::ConformanceError> for BenchError {
 impl From<macgame_faults::FaultError> for BenchError {
     fn from(e: macgame_faults::FaultError) -> Self {
         BenchError::Faults(e)
+    }
+}
+
+impl From<macgame_lint::LintError> for BenchError {
+    fn from(e: macgame_lint::LintError) -> Self {
+        BenchError::Lint(e)
     }
 }

@@ -99,8 +99,8 @@ pub fn run(settings: MultihopSettings) -> Result<MultihopOutcome, BenchError> {
     let trace = tft_converge(&topo, &local)?;
     let w_m = trace.converged_window().unwrap_or_else(|| {
         // Disconnected placements: evaluate the largest component's min.
-        let comp = topo.components().into_iter().max_by_key(Vec::len).expect("nonempty");
-        comp.iter().map(|&i| trace.final_windows[i]).min().expect("nonempty component")
+        let comp = topo.components().into_iter().max_by_key(Vec::len).expect("nonempty"); // PANIC-POLICY: invariant: nonempty
+        comp.iter().map(|&i| trace.final_windows[i]).min().expect("nonempty component") // PANIC-POLICY: invariant: nonempty component
     });
 
     let sweep: Vec<u32> =
@@ -148,13 +148,13 @@ pub fn run(settings: MultihopSettings) -> Result<MultihopOutcome, BenchError> {
         connected: topo.is_connected(),
         diameter: topo.diameter(),
         degrees: (
-            degrees.iter().copied().min().expect("nonempty"),
+            degrees.iter().copied().min().expect("nonempty"), // PANIC-POLICY: invariant: nonempty
             degrees.iter().sum::<usize>() as f64 / settings.n as f64,
-            degrees.iter().copied().max().expect("nonempty"),
+            degrees.iter().copied().max().expect("nonempty"), // PANIC-POLICY: invariant: nonempty
         ),
         local_window_range: (
-            *local.iter().min().expect("nonempty"),
-            *local.iter().max().expect("nonempty"),
+            *local.iter().min().expect("nonempty"), // PANIC-POLICY: invariant: nonempty
+            *local.iter().max().expect("nonempty"), // PANIC-POLICY: invariant: nonempty
         ),
         convergence_rounds: trace.rounds_needed,
         w_m,

@@ -74,7 +74,7 @@ static PROFILE_LOCK: Mutex<()> = Mutex::new(());
 ///
 /// Propagates failures from any workload phase.
 pub fn run_profile(settings: ProfileSettings) -> Result<Snapshot, BenchError> {
-    let _guard = PROFILE_LOCK.lock().expect("profile lock poisoned");
+    let _guard = PROFILE_LOCK.lock().expect("profile lock poisoned"); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
     let recorder = Arc::new(CollectingRecorder::new());
     telemetry::set_recorder(recorder.clone());
     let result = run_workload(settings);

@@ -15,7 +15,7 @@ use crate::BenchError;
 #[must_use]
 pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     for row in rows {
-        assert_eq!(row.len(), headers.len(), "ragged table row");
+        assert_eq!(row.len(), headers.len(), "ragged table row"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
     }
     let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
     for row in rows {

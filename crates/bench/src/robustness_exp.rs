@@ -163,7 +163,7 @@ pub struct RobustnessReport {
 ///
 /// Propagates failures from any section.
 pub fn run_robustness(settings: RobustnessSettings) -> Result<RobustnessReport, BenchError> {
-    let _guard = ROBUSTNESS_LOCK.lock().expect("robustness lock poisoned");
+    let _guard = ROBUSTNESS_LOCK.lock().expect("robustness lock poisoned"); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
     let recorder = Arc::new(CollectingRecorder::new());
     telemetry::set_recorder(recorder.clone());
     let result = run_sections(settings);
@@ -252,13 +252,13 @@ fn gtft_grid(
                     .collect::<Result<_, _>>()?;
                 let mut rg = RepeatedGame::new(game.clone(), players, Box::new(evaluator))?;
                 rg.play(stages)?;
-                let last = rg.history().last().expect("stages played");
+                let last = rg.history().last().expect("stages played"); // PANIC-POLICY: invariant: stages played
                 cells.push(GtftCell {
                     r0,
                     beta,
                     noise,
                     held: last.windows.iter().all(|&w| w == w_star),
-                    final_min: *last.windows.iter().min().expect("nonempty profile"),
+                    final_min: *last.windows.iter().min().expect("nonempty profile"), // PANIC-POLICY: invariant: nonempty profile
                     stages,
                 });
             }

@@ -29,7 +29,7 @@ pub struct ParamRow {
 pub fn table1() -> Vec<ParamRow> {
     let p = DcfParams::default();
     let u = UtilityParams::default();
-    let g = GameConfig::builder(2).build().expect("defaults are valid");
+    let g = GameConfig::builder(2).build().expect("defaults are valid"); // PANIC-POLICY: constant parameters are valid by construction
     let row = |name, value: String| ParamRow { name, value };
     vec![
         row("Packet size", format!("{}", p.frames().payload)),
@@ -155,12 +155,12 @@ pub fn simulated_ne_adaptive(
         .stage_duration(stage)
         .build()?;
     let players: Vec<Box<dyn Strategy>> =
-        (0..n).map(|_| Box::new(HillClimb::try_new(start, step).expect("valid hill-climb step")) as Box<dyn Strategy>).collect();
+        (0..n).map(|_| Box::new(HillClimb::try_new(start, step).expect("valid hill-climb step")) as Box<dyn Strategy>).collect(); // PANIC-POLICY: constant parameters are valid by construction
     let evaluator =
         Box::new(SimulatedEvaluator::new(game.clone(), seed)?.with_exact_observation(true));
     let mut rg = RepeatedGame::new(game, players, evaluator)?;
     rg.play(stages)?;
-    let windows = &rg.history().last().expect("stages played").windows;
+    let windows = &rg.history().last().expect("stages played").windows; // PANIC-POLICY: invariant: stages played
     let mean = windows.iter().map(|&w| f64::from(w)).sum::<f64>() / n as f64;
     let var =
         windows.iter().map(|&w| (f64::from(w) - mean).powi(2)).sum::<f64>() / n as f64;

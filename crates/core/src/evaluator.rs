@@ -323,7 +323,7 @@ impl<E: StageEvaluator> StageEvaluator for CachingEvaluator<E> {
             (windows.to_vec(), None)
         };
         let stored = {
-            let hit = self.cache.read().expect("cache lock poisoned").get(&key).cloned();
+            let hit = self.cache.read().expect("cache lock poisoned").get(&key).cloned(); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
             match hit {
                 Some(outcome) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -336,7 +336,7 @@ impl<E: StageEvaluator> StageEvaluator for CachingEvaluator<E> {
                     // other, and the first insert wins so every caller
                     // observes one canonical outcome.
                     let outcome = Arc::new(self.inner.evaluate(&key)?);
-                    let mut map = self.cache.write().expect("cache lock poisoned");
+                    let mut map = self.cache.write().expect("cache lock poisoned"); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
                     match map.entry(key) {
                         Entry::Occupied(existing) => {
                             self.hits.fetch_add(1, Ordering::Relaxed);

@@ -83,8 +83,8 @@ impl<A> FiniteGame<A> {
     }
 
     fn validate_profile(&self, profile: &[usize]) {
-        assert_eq!(profile.len(), self.players, "profile length must equal player count");
-        assert!(
+        assert_eq!(profile.len(), self.players, "profile length must equal player count"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+        assert!( // PANIC-POLICY: documented # Panics contract (programmer-error guard)
             profile.iter().all(|&a| a < self.actions.len()),
             "profile contains an out-of-range action index"
         );
@@ -98,7 +98,7 @@ impl<A> FiniteGame<A> {
     #[must_use]
     pub fn utility_of(&self, player: usize, profile: &[usize]) -> f64 {
         self.validate_profile(profile);
-        assert!(player < self.players, "player index out of range");
+        assert!(player < self.players, "player index out of range"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         (self.utility)(player, profile)
     }
 
@@ -194,7 +194,7 @@ impl<A> FiniteGame<A> {
     #[must_use]
     pub fn enumerate_pure_nash(&self) -> Vec<Vec<usize>> {
         let total =
-            self.actions.len().checked_pow(self.players as u32).expect("profile space too large");
+            self.actions.len().checked_pow(self.players as u32).expect("profile space too large"); // PANIC-POLICY: documented # Panics contract: profile-space overflow guard
         (0..total)
             .map(|code| self.decode(code))
             .filter(|profile| self.is_pure_nash(profile))
@@ -218,7 +218,7 @@ impl<A> FiniteGame<A> {
     pub fn payoff_table(&self, threads: usize) -> Vec<(Vec<usize>, Vec<f64>)> {
         let a = self.actions.len();
         let players = self.players;
-        let total = a.checked_pow(players as u32).expect("profile space too large");
+        let total = a.checked_pow(players as u32).expect("profile space too large"); // PANIC-POLICY: documented # Panics contract: profile-space overflow guard
         let codes: Vec<usize> = (0..total).collect();
         // Capture only the utility closure, not `self`, so the action type
         // `A` needs no `Sync` bound.

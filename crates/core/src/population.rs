@@ -36,7 +36,7 @@ impl PopulationState {
     /// Panics if `k == 0`.
     #[must_use]
     pub fn uniform(k: usize) -> Self {
-        assert!(k > 0, "need at least one strategy");
+        assert!(k > 0, "need at least one strategy"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         PopulationState { shares: vec![1.0 / k as f64; k] }
     }
 
@@ -61,7 +61,7 @@ impl PopulationState {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("nonempty")
+            .expect("nonempty") // PANIC-POLICY: invariant: nonempty
             .0
     }
 }
@@ -85,7 +85,7 @@ impl ReplicatorTrace {
     /// Never — the initial state is always recorded.
     #[must_use]
     pub fn final_state(&self) -> &PopulationState {
-        self.generations.last().expect("initial state always present")
+        self.generations.last().expect("initial state always present") // PANIC-POLICY: invariant: initial state always present
     }
 
     /// Shares below this threshold count as extinct.

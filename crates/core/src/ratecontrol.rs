@@ -174,14 +174,14 @@ pub fn performance_anomaly(
         .iter()
         .enumerate()
         .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
-        .expect("nonempty")
+        .expect("nonempty") // PANIC-POLICY: invariant: nonempty
         .0;
     let slowest = game
         .actions()
         .iter()
         .enumerate()
         .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
-        .expect("nonempty")
+        .expect("nonempty") // PANIC-POLICY: invariant: nonempty
         .0;
     let all_fast_profile = vec![fastest; n];
     let mut one_slow_profile = all_fast_profile.clone();

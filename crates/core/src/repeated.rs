@@ -122,7 +122,7 @@ impl RepeatedGame {
             observed: outcome.observed_windows,
             utilities: outcome.utilities,
         });
-        Ok(self.history.last().expect("just pushed"))
+        Ok(self.history.last().expect("just pushed")) // PANIC-POLICY: invariant: just pushed
     }
 
     /// Plays `stages` stages.

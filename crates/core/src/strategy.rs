@@ -118,7 +118,7 @@ impl GenerousTft {
     pub fn new(initial: u32, r0: usize, beta: f64) -> Self {
         match Self::try_new(initial, r0, beta) {
             Ok(s) => s,
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("{e}"), // PANIC-POLICY: deprecated panicking shim; documented panic, callers should migrate to try_new
         }
     }
 }
@@ -321,7 +321,7 @@ impl HillClimb {
     pub fn new(initial: u32, step: u32) -> Self {
         match Self::try_new(initial, step) {
             Ok(s) => s,
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("{e}"), // PANIC-POLICY: deprecated panicking shim; documented panic, callers should migrate to try_new
         }
     }
 }

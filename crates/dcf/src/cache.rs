@@ -99,7 +99,7 @@ impl SolveCache {
 
     /// Solves an already-sorted profile, sharing the stored [`Arc`].
     fn solve_canonical(&self, sorted: Vec<u32>) -> Result<Arc<Equilibrium>, DcfError> {
-        if let Some(hit) = self.map.read().expect("cache lock poisoned").get(&sorted) {
+        if let Some(hit) = self.map.read().expect("cache lock poisoned").get(&sorted) { // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
             self.hits.fetch_add(1, Ordering::Relaxed);
             telemetry::counter("dcf.cache.hits", 1);
             return Ok(Arc::clone(hit));
@@ -108,7 +108,7 @@ impl SolveCache {
         // may duplicate work, but never block each other, and the first
         // insert wins so every caller observes one canonical solution.
         let solved = Arc::new(solve(&sorted, &self.params, self.options)?);
-        let mut map = self.map.write().expect("cache lock poisoned");
+        let mut map = self.map.write().expect("cache lock poisoned"); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
         match map.entry(sorted) {
             Entry::Occupied(existing) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -139,7 +139,7 @@ impl SolveCache {
     /// Number of distinct canonical profiles stored.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.read().expect("cache lock poisoned").len()
+        self.map.read().expect("cache lock poisoned").len() // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
     }
 
     /// Whether the cache is empty.
@@ -150,7 +150,7 @@ impl SolveCache {
 
     /// Drops all cached solutions and resets the counters.
     pub fn clear(&self) {
-        self.map.write().expect("cache lock poisoned").clear();
+        self.map.write().expect("cache lock poisoned").clear(); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }

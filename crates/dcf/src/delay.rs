@@ -153,7 +153,7 @@ pub fn efficient_cw_delay_aware(
             best = Some(point);
         }
     }
-    Ok(best.expect("nonempty strategy space"))
+    Ok(best.expect("nonempty strategy space")) // PANIC-POLICY: invariant: nonempty strategy space
 }
 
 #[cfg(test)]

@@ -23,8 +23,8 @@
 /// value.
 #[must_use]
 pub fn jain_index(allocation: &[f64]) -> f64 {
-    assert!(!allocation.is_empty(), "allocation must be non-empty");
-    assert!(
+    assert!(!allocation.is_empty(), "allocation must be non-empty"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+    assert!( // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         allocation.iter().all(|x| x.is_finite() && *x >= 0.0),
         "allocation entries must be finite and non-negative"
     );
@@ -45,8 +45,8 @@ pub fn jain_index(allocation: &[f64]) -> f64 {
 /// Same conditions as [`jain_index`].
 #[must_use]
 pub fn min_max_ratio(allocation: &[f64]) -> f64 {
-    assert!(!allocation.is_empty(), "allocation must be non-empty");
-    assert!(
+    assert!(!allocation.is_empty(), "allocation must be non-empty"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+    assert!( // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         allocation.iter().all(|x| x.is_finite() && *x >= 0.0),
         "allocation entries must be finite and non-negative"
     );

@@ -139,7 +139,7 @@ impl BackoffChain {
     /// Panics if `stage > m`.
     #[must_use]
     pub fn stage_window(&self, stage: u32) -> u32 {
-        assert!(stage <= self.m, "stage {stage} exceeds maximum backoff stage {}", self.m);
+        assert!(stage <= self.m, "stage {stage} exceeds maximum backoff stage {}", self.m); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         self.w << stage
     }
 
@@ -152,7 +152,7 @@ impl BackoffChain {
     #[must_use]
     pub fn stationary(&self, stage: u32, k: u32) -> f64 {
         let wj = self.stage_window(stage);
-        assert!(k < wj, "counter {k} out of range for stage window {wj}");
+        assert!(k < wj, "counter {k} out of range for stage window {wj}"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         let visits = if stage < self.m {
             self.p.powi(stage as i32)
         } else {

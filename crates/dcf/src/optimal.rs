@@ -40,8 +40,8 @@ pub const DEFAULT_W_MAX: u32 = 4096;
 /// Panics if `n < 2` or `τ ∉ [0, 1]`.
 #[must_use]
 pub fn q_function(tau: f64, n: usize, params: &DcfParams) -> f64 {
-    assert!(n >= 2, "the symmetric optimum needs at least two contenders");
-    assert!((0.0..=1.0).contains(&tau), "τ must be in [0, 1]");
+    assert!(n >= 2, "the symmetric optimum needs at least two contenders"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+    assert!((0.0..=1.0).contains(&tau), "τ must be in [0, 1]"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
     let sigma = params.sigma().value();
     let tc = params.timings().collision_time.value();
     let idle = (1.0 - tau).powi(n as i32);

@@ -32,7 +32,7 @@ pub fn ieee80211b() -> DcfParams {
         })
         .frames(FrameParams::default())
         .build()
-        .expect("preset parameters are valid")
+        .expect("preset parameters are valid") // PANIC-POLICY: constant parameters are valid by construction
 }
 
 /// IEEE 802.11a/g (OFDM): 54 Mbit/s, σ = 9 µs, SIFS = 16 µs, DIFS = 34 µs,
@@ -49,7 +49,7 @@ pub fn ieee80211ag() -> DcfParams {
         })
         .frames(FrameParams::default())
         .build()
-        .expect("preset parameters are valid")
+        .expect("preset parameters are valid") // PANIC-POLICY: constant parameters are valid by construction
 }
 
 #[cfg(test)]

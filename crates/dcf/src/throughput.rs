@@ -51,8 +51,8 @@ impl SlotStats {
 /// not a recoverable condition).
 #[must_use]
 pub fn slot_stats(taus: &[f64], params: &DcfParams) -> SlotStats {
-    assert!(!taus.is_empty(), "need at least one node");
-    assert!(
+    assert!(!taus.is_empty(), "need at least one node"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+    assert!( // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         taus.iter().all(|t| (0.0..=1.0).contains(t)),
         "transmission probabilities must be in [0, 1]"
     );
@@ -98,7 +98,7 @@ pub fn normalized_throughput(taus: &[f64], params: &DcfParams) -> f64 {
 /// Same conditions as [`slot_stats`], plus `node` must index into `taus`.
 #[must_use]
 pub fn node_throughput(node: usize, taus: &[f64], params: &DcfParams) -> f64 {
-    assert!(node < taus.len(), "node index out of range");
+    assert!(node < taus.len(), "node index out of range"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
     let stats = slot_stats(taus, params);
     let p_i_success: f64 = taus[node]
         * taus

@@ -41,7 +41,7 @@ impl MicroSecs {
     /// Panics if `us` is negative or not finite.
     #[must_use]
     pub fn new(us: f64) -> Self {
-        assert!(us.is_finite() && us >= 0.0, "duration must be finite and non-negative");
+        assert!(us.is_finite() && us >= 0.0, "duration must be finite and non-negative"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         MicroSecs(us)
     }
 
@@ -186,7 +186,7 @@ impl BitRate {
     /// Panics if `mbps` is not strictly positive and finite.
     #[must_use]
     pub fn from_mbps(mbps: f64) -> Self {
-        assert!(mbps.is_finite() && mbps > 0.0, "bit rate must be positive and finite");
+        assert!(mbps.is_finite() && mbps > 0.0, "bit rate must be positive and finite"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         BitRate(mbps)
     }
 

@@ -48,12 +48,12 @@ pub fn node_utility(
     params: &DcfParams,
     utility: &UtilityParams,
 ) -> f64 {
-    assert_eq!(taus.len(), collision_probs.len(), "profile lengths must match");
-    assert!(node < taus.len(), "node index out of range");
+    assert_eq!(taus.len(), collision_probs.len(), "profile lengths must match"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+    assert!(node < taus.len(), "node index out of range"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
     let stats = slot_stats(taus, params);
     let tau = taus[node];
     let p = collision_probs[node];
-    assert!((0.0..=1.0).contains(&p), "collision probability must be in [0, 1]");
+    assert!((0.0..=1.0).contains(&p), "collision probability must be in [0, 1]"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
     tau * ((1.0 - p) * utility.gain - utility.cost) / stats.mean_slot.value()
 }
 
@@ -101,7 +101,7 @@ pub fn stage_utility(per_microsec: f64, stage_duration: MicroSecs) -> f64 {
 /// Panics unless `0 ≤ δ < 1`.
 #[must_use]
 pub fn discounted_total(stage_utility: f64, delta: f64) -> f64 {
-    assert!((0.0..1.0).contains(&delta), "discount factor must be in [0, 1)");
+    assert!((0.0..1.0).contains(&delta), "discount factor must be in [0, 1)"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
     stage_utility / (1.0 - delta)
 }
 
@@ -112,7 +112,7 @@ pub fn discounted_total(stage_utility: f64, delta: f64) -> f64 {
 /// Panics unless `0 ≤ δ ≤ 1`.
 #[must_use]
 pub fn discounted_partial(stage_utility: f64, delta: f64, stages: u32) -> f64 {
-    assert!((0.0..=1.0).contains(&delta), "discount factor must be in [0, 1]");
+    assert!((0.0..=1.0).contains(&delta), "discount factor must be in [0, 1]"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
     if (delta - 1.0).abs() < f64::EPSILON {
         return stage_utility * f64::from(stages);
     }
@@ -154,7 +154,7 @@ pub fn node_utility_hetero(
     params: &DcfParams,
     utilities: &[UtilityParams],
 ) -> f64 {
-    assert_eq!(taus.len(), utilities.len(), "need one UtilityParams per node");
+    assert_eq!(taus.len(), utilities.len(), "need one UtilityParams per node"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
     node_utility(node, taus, collision_probs, params, &utilities[node])
 }
 

@@ -1,0 +1,60 @@
+//! Standalone entry point: `cargo run -p macgame-lint [-- <root>]`.
+//!
+//! Lints the enclosing workspace (or an explicit root), prints the finding
+//! table, writes `artifacts/LINT.json` under the root, and exits nonzero
+//! on any unwaived finding — the same gate `repro -- lint` and CI apply.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use macgame_lint::{find_workspace_root, run_lint};
+
+fn main() -> ExitCode {
+    let arg_root = std::env::args().nth(1).map(PathBuf::from);
+    let root = match arg_root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("macgame-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("macgame-lint: no workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match run_lint(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("macgame-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_text());
+    let artifact_dir = root.join("artifacts");
+    let artifact = artifact_dir.join("LINT.json");
+    if let Err(e) =
+        std::fs::create_dir_all(&artifact_dir).and_then(|()| std::fs::write(&artifact, report.to_json()))
+    {
+        eprintln!("macgame-lint: cannot write {}: {e}", artifact.display());
+        return ExitCode::from(2);
+    }
+    println!("artifact: {}", artifact.display());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "macgame-lint: {} unwaived finding(s); fix them or add a waiver with a \
+             rationale to lint-allow.toml",
+            report.unwaived().len()
+        );
+        ExitCode::FAILURE
+    }
+}

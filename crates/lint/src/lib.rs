@@ -1,0 +1,314 @@
+//! `macgame-lint` — the workspace invariant checker.
+//!
+//! PRs 1–4 made three prose policies load-bearing: byte-for-byte artifact
+//! determinism (`CONFORMANCE.json` / `TELEMETRY.json` / `ROBUSTNESS.json`
+//! are thread-count-invariant), the DESIGN.md §12 panic-to-error policy,
+//! and seeded-ChaCha8-only randomness. Each was guarded only by spot
+//! regression tests; one stray `HashMap` iteration, `Instant::now()`, or
+//! `unwrap()` in a new code path silently breaks them. This crate turns
+//! those contracts into *mechanically enforced invariants*, the way the
+//! parameter-verification machinery of Banchs et al. ("Thwarting Selfish
+//! Behavior in 802.11 WLANs") detects protocol deviations mechanically
+//! rather than by inspection.
+//!
+//! It is dependency-free by design (no `syn` in the vendored tree): a
+//! hand-rolled token-level lexer ([`lexer`]) feeds the rule catalog
+//! ([`rules`]), a minimal TOML subset parser ([`toml`]) reads both crate
+//! manifests ([`manifest`]) and the `lint-allow.toml` waiver file
+//! ([`waivers`]), and [`report`] renders a human table plus deterministic
+//! `artifacts/LINT.json` bytes.
+//!
+//! # Rule catalog
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `determinism/hash-container` | no `HashMap`/`HashSet` in library code — iteration order can leak into artifacts; use `BTreeMap`/`BTreeSet` or waive with proof |
+//! | `determinism/wall-clock` | no `Instant::now`/`SystemTime::now` outside the telemetry timings quarantine |
+//! | `determinism/entropy-rng` | no `thread_rng`/`from_entropy` — randomness comes from seeded ChaCha8 streams |
+//! | `panic-policy/unmarked-panic` | `unwrap`/`expect`/`panic!`/`assert!`-family calls in non-test library code need a `// PANIC-POLICY:` contract marker |
+//! | `panic-policy/empty-marker` | a marker must carry a rationale |
+//! | `api/deprecated-constructor` | no calls to `GenerousTft::new`/`HillClimb::new` (use `try_new`) |
+//! | `api/relaxed-ordering` | no `Ordering::Relaxed` outside the telemetry allowlist |
+//! | `manifest/workspace-field` | crates inherit `version`/`edition`/`license` from the workspace |
+//! | `manifest/external-dependency` | only workspace-inherited or in-tree path dependencies |
+//! | `waiver/stale`, `waiver/invalid` | the waiver file itself must stay honest |
+//!
+//! # Usage
+//!
+//! ```text
+//! cargo run -p macgame-lint             # lint the enclosing workspace
+//! cargo run --release -p macgame-bench --bin repro -- lint
+//! ```
+//!
+//! Exit is nonzero on any unwaived finding; `lint-allow.toml` grants
+//! per-line (or per-file) waivers that must carry a rationale.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+pub mod toml;
+pub mod waivers;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use report::LintReport;
+pub use rules::{FileContext, FileKind, Finding};
+pub use waivers::WAIVER_FILE;
+
+/// Configuration for one lint run.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Exact workspace-relative paths allowed to read the wall clock
+    /// (the telemetry `timings` quarantine).
+    pub wall_clock_allow: Vec<String>,
+    /// Workspace-relative path prefixes allowed to use `Ordering::Relaxed`
+    /// (the telemetry fast-path allowlist).
+    pub relaxed_allow: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            // `telemetry::global::span` is *the* wall-clock quarantine: its
+            // measurements land in the `timings` section that
+            // `Snapshot::deterministic_json()` omits.
+            wall_clock_allow: vec!["crates/telemetry/src/global.rs".to_string()],
+            // The telemetry fast path is the one sanctioned Relaxed user:
+            // its counters merge by commutative sums, never by read order.
+            relaxed_allow: vec!["crates/telemetry/src/".to_string()],
+        }
+    }
+}
+
+/// Errors a lint run can hit. The linter itself never panics.
+#[derive(Debug)]
+pub enum LintError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// `root` is not a workspace root (no `Cargo.toml` with `[workspace]`).
+    NotAWorkspace(PathBuf),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => {
+                write!(f, "io error at {}: {source}", path.display())
+            }
+            LintError::NotAWorkspace(p) => {
+                write!(f, "{} is not a cargo workspace root", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LintError::Io { source, .. } => Some(source),
+            LintError::NotAWorkspace(_) => None,
+        }
+    }
+}
+
+fn read(path: &Path) -> Result<String, LintError> {
+    fs::read_to_string(path).map_err(|source| LintError::Io { path: path.to_path_buf(), source })
+}
+
+/// Walks up from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]`.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(contents) = fs::read_to_string(&manifest) {
+            if toml::parse(&contents).iter().any(|t| t.name == "workspace" && !t.is_array) {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Turns a path relative to `root` into the canonical `/`-separated form
+/// used in findings and waivers.
+fn rel_str(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lists the immediate subdirectories of `dir` that contain a
+/// `Cargo.toml`, sorted by name for deterministic traversal.
+fn package_dirs(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    let entries =
+        fs::read_dir(dir).map_err(|source| LintError::Io { path: dir.to_path_buf(), source })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError::Io { path: dir.to_path_buf(), source })?;
+        let path = entry.path();
+        if path.is_dir() && path.join("Cargo.toml").is_file() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `*.rs` files under `dir`, sorted.
+fn rust_files_recursive(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries =
+        fs::read_dir(dir).map_err(|source| LintError::Io { path: dir.to_path_buf(), source })?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError::Io { path: dir.to_path_buf(), source })?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files_recursive(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Collects the *compiled* top-level `*.rs` files of `dir` (integration
+/// tests, benches, examples): Cargo only builds direct children, so files
+/// in subdirectories — e.g. lint rule fixtures under `tests/fixtures/` —
+/// are data, not code, and are not scanned.
+fn rust_files_top_level(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    let entries =
+        fs::read_dir(dir).map_err(|source| LintError::Io { path: dir.to_path_buf(), source })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError::Io { path: dir.to_path_buf(), source })?;
+        let path = entry.path();
+        if path.is_file() && path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints the workspace rooted at `root` with the default configuration.
+///
+/// # Errors
+///
+/// Returns [`LintError`] on filesystem failures or when `root` is not a
+/// workspace root. Findings — including malformed waivers — are *not*
+/// errors; they are reported in the [`LintReport`].
+pub fn run_lint(root: &Path) -> Result<LintReport, LintError> {
+    run_lint_with(root, &LintConfig::default())
+}
+
+/// Lints the workspace rooted at `root` with an explicit configuration.
+///
+/// # Errors
+///
+/// See [`run_lint`].
+pub fn run_lint_with(root: &Path, config: &LintConfig) -> Result<LintReport, LintError> {
+    let root_manifest_path = root.join("Cargo.toml");
+    let root_manifest = read(&root_manifest_path)?;
+    if !toml::parse(&root_manifest).iter().any(|t| t.name == "workspace" && !t.is_array) {
+        return Err(LintError::NotAWorkspace(root.to_path_buf()));
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut manifests_checked = 0usize;
+
+    // Waivers first: malformed entries are findings too.
+    let waiver_path = root.join(WAIVER_FILE);
+    let waiver_set = if waiver_path.is_file() {
+        waivers::parse_waivers(&read(&waiver_path)?)
+    } else {
+        waivers::WaiverSet::default()
+    };
+    findings.extend(waiver_set.findings.iter().cloned());
+
+    // The root manifest: workspace-field + workspace.dependencies checks.
+    findings.extend(manifest::check_manifest("Cargo.toml", &root_manifest, false, true));
+    manifests_checked += 1;
+
+    // Package set: the root package plus crates/* and vendor/*.
+    let mut packages: Vec<(PathBuf, bool)> = vec![(root.to_path_buf(), false)];
+    for dir in package_dirs(&root.join("crates"))? {
+        packages.push((dir, false));
+    }
+    for dir in package_dirs(&root.join("vendor"))? {
+        packages.push((dir, true));
+    }
+
+    for (pkg_dir, is_vendor) in &packages {
+        // Manifests (the root package's manifest was already checked above).
+        if pkg_dir != root {
+            let manifest_path = pkg_dir.join("Cargo.toml");
+            let rel = rel_str(root, &manifest_path);
+            findings.extend(manifest::check_manifest(&rel, &read(&manifest_path)?, *is_vendor, false));
+            manifests_checked += 1;
+        }
+        if *is_vendor {
+            // Vendored shims implement the very APIs the code rules police;
+            // the determinism contracts bind their *call sites* in macgame
+            // crates, not the shims themselves.
+            continue;
+        }
+        // Library sources: everything under src/, recursively (bins included).
+        let mut lib_files = Vec::new();
+        rust_files_recursive(&pkg_dir.join("src"), &mut lib_files)?;
+        // Dev sources: compiled top-level tests/benches/examples files.
+        let mut dev_files = Vec::new();
+        for sub in ["tests", "benches", "examples"] {
+            dev_files.extend(rust_files_top_level(&pkg_dir.join(sub))?);
+        }
+        for (files, kind) in [(lib_files, FileKind::Library), (dev_files, FileKind::Dev)] {
+            for file in files {
+                let rel = rel_str(root, &file);
+                let ctx = FileContext {
+                    rel_path: &rel,
+                    kind,
+                    wall_clock_allow: &config.wall_clock_allow,
+                    relaxed_allow: &config.relaxed_allow,
+                };
+                findings.extend(rules::check_source(&ctx, &read(&file)?));
+                files_scanned += 1;
+            }
+        }
+    }
+
+    waivers::apply_waivers(&mut findings, &waiver_set.waivers);
+    let mut report = LintReport { findings, files_scanned, manifests_checked };
+    report.sort();
+    // Two hits of the same rule on one line (e.g. `HashMap::<_,_>::new()`
+    // naming the type twice) are one violation.
+    report.findings.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+    Ok(report)
+}

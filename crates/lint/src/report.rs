@@ -1,0 +1,272 @@
+//! Report assembly: deterministic `LINT.json` bytes and the human table.
+//!
+//! The JSON is hand-rolled (the crate is dependency-free) with sorted
+//! findings, sorted rule counts, and no timestamps or absolute paths, so
+//! two runs over the same tree produce byte-identical artifacts — the
+//! same contract the other `artifacts/*.json` files honor.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// The outcome of linting a workspace.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Every finding, waived or not, sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// Number of manifests checked.
+    pub manifests_checked: usize,
+}
+
+impl LintReport {
+    /// Sorts findings into their canonical artifact order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+        });
+    }
+
+    /// Findings not covered by a waiver — the CI-failing set.
+    #[must_use]
+    pub fn unwaived(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| !f.waived).collect()
+    }
+
+    /// Whether the workspace passes (every finding waived with rationale).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.iter().all(|f| f.waived)
+    }
+
+    /// Per-rule `(total, waived)` counts, sorted by rule id.
+    #[must_use]
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, (usize, usize)> {
+        let mut counts: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+        for f in &self.findings {
+            let entry = counts.entry(f.rule).or_default();
+            entry.0 += 1;
+            if f.waived {
+                entry.1 += 1;
+            }
+        }
+        counts
+    }
+
+    /// Renders the deterministic `LINT.json` bytes.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"macgame-lint/1\",\n");
+        out.push_str("  \"summary\": {\n");
+        out.push_str(&format!("    \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("    \"manifests_checked\": {},\n", self.manifests_checked));
+        out.push_str(&format!("    \"findings\": {},\n", self.findings.len()));
+        out.push_str(&format!(
+            "    \"waived\": {},\n",
+            self.findings.iter().filter(|f| f.waived).count()
+        ));
+        out.push_str(&format!("    \"unwaived\": {},\n", self.unwaived().len()));
+        out.push_str("    \"rules\": {");
+        let counts = self.rule_counts();
+        let mut first = true;
+        for (rule, (total, waived)) in &counts {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n      {}: {{\"total\": {total}, \"waived\": {waived}}}",
+                json_string(rule)
+            ));
+        }
+        if !counts.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("}\n  },\n");
+        out.push_str("  \"findings\": [");
+        let mut first = true;
+        for f in &self.findings {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": {}, ", json_string(f.rule)));
+            out.push_str(&format!("\"path\": {}, ", json_string(&f.path)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"waived\": {}, ", f.waived));
+            match &f.reason {
+                Some(r) => out.push_str(&format!("\"reason\": {}, ", json_string(r))),
+                None => out.push_str("\"reason\": null, "),
+            }
+            out.push_str(&format!("\"message\": {}, ", json_string(&f.message)));
+            out.push_str(&format!("\"snippet\": {}}}", json_string(&f.snippet)));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Rows for a `rule | location | status | detail` table: unwaived
+    /// findings first (they are what the reader must act on), then waived
+    /// grants with their rationale.
+    #[must_use]
+    pub fn table_rows(&self) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        for pass in [false, true] {
+            for f in self.findings.iter().filter(|f| f.waived == pass) {
+                let detail = if f.waived {
+                    format!("waived: {}", f.reason.as_deref().unwrap_or(""))
+                } else {
+                    f.message.clone()
+                };
+                rows.push(vec![
+                    f.rule.to_string(),
+                    format!("{}:{}", f.path, f.line),
+                    if f.waived { "allow".to_string() } else { "FAIL".to_string() },
+                    detail,
+                ]);
+            }
+        }
+        rows
+    }
+
+    /// Renders the report as aligned plain text (used by the standalone
+    /// binary; `repro -- lint` uses its own table renderer on
+    /// [`Self::table_rows`]).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let headers = ["rule", "location", "status", "detail"];
+        let rows = self.table_rows();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[&str], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.chars().count()..*w {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&headers, &mut out);
+        for row in &rows {
+            let cells: Vec<&str> = row.iter().map(String::as_str).collect();
+            render_row(&cells, &mut out);
+        }
+        out.push_str(&format!(
+            "\n{} file(s), {} manifest(s) scanned: {} finding(s), {} waived, {} unwaived\n",
+            self.files_scanned,
+            self.manifests_checked,
+            self.findings.len(),
+            self.findings.iter().filter(|f| f.waived).count(),
+            self.unwaived().len(),
+        ));
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with surrounding quotes).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32, waived: bool) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: format!("broke {rule}"),
+            snippet: "let x = 1;".to_string(),
+            waived,
+            reason: waived.then(|| "because".to_string()),
+        }
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let mut report = LintReport {
+            findings: vec![
+                finding("b/rule", "z.rs", 9, false),
+                finding("a/rule", "a.rs", 3, true),
+                finding("a/rule", "a.rs", 1, false),
+            ],
+            files_scanned: 3,
+            manifests_checked: 1,
+        };
+        report.sort();
+        let one = report.to_json();
+        let two = report.to_json();
+        assert_eq!(one, two);
+        let a1 = one.find("\"line\": 1").expect("line 1 present");
+        let a3 = one.find("\"line\": 3").expect("line 3 present");
+        let z9 = one.find("\"line\": 9").expect("line 9 present");
+        assert!(a1 < a3 && a3 < z9, "findings must be path/line ordered");
+        assert!(one.contains("\"unwaived\": 2"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_report_is_clean_and_valid() {
+        let report = LintReport { findings: vec![], files_scanned: 0, manifests_checked: 0 };
+        assert!(report.is_clean());
+        let json = report.to_json();
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"rules\": {}"));
+    }
+
+    #[test]
+    fn table_lists_unwaived_first() {
+        let mut report = LintReport {
+            findings: vec![
+                finding("a/rule", "a.rs", 1, true),
+                finding("b/rule", "b.rs", 2, false),
+            ],
+            files_scanned: 2,
+            manifests_checked: 0,
+        };
+        report.sort();
+        let rows = report.table_rows();
+        assert_eq!(rows[0][2], "FAIL");
+        assert_eq!(rows[1][2], "allow");
+        assert!(rows[1][3].starts_with("waived: "));
+    }
+}

@@ -1,0 +1,28 @@
+// Lint fixture: no determinism rule should fire on this file.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+fn containers() -> usize {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    let s: BTreeSet<u32> = BTreeSet::new();
+    m.len() + s.len()
+}
+
+fn strings_do_not_count() -> &'static str {
+    // Identifiers inside literals and comments are data, not code:
+    // HashMap, Instant::now(), thread_rng().
+    "HashMap Instant::now thread_rng from_entropy"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let t = std::time::Instant::now();
+        let mut rng = rand::thread_rng();
+        assert!(m.is_empty() && t.elapsed().as_nanos() < u128::MAX && rng.gen::<bool>() || true);
+    }
+}

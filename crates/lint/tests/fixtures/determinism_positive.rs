@@ -1,0 +1,22 @@
+// Lint fixture: every determinism rule should fire on this file.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn clocks() -> u128 {
+    let a = std::time::Instant::now();
+    let b = std::time::SystemTime::now();
+    let _ = b;
+    a.elapsed().as_nanos()
+}
+
+fn containers() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    m.len() + s.len()
+}
+
+fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    let seeded = ChaCha8Rng::from_entropy();
+    rng.gen::<u64>() ^ seeded.gen::<u64>()
+}

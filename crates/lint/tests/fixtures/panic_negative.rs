@@ -1,0 +1,25 @@
+// Lint fixture: no panic-policy rule should fire on this file.
+fn marked_same_line(v: Option<u32>) -> u32 {
+    v.unwrap() // PANIC-POLICY: invariant: caller checked is_some
+}
+
+fn marked_preceding_line(v: Option<u32>) -> u32 {
+    // PANIC-POLICY: invariant: caller checked is_some
+    v.expect("present")
+}
+
+fn debug_asserts_are_compiled_out(a: u32, b: u32) -> u32 {
+    debug_assert!(a >= b);
+    debug_assert_eq!(a % 1, 0);
+    a - b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = Some(3u32);
+        assert_eq!(v.unwrap(), 3);
+        assert!(v.expect("present") == 3);
+    }
+}

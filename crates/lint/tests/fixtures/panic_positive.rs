@@ -1,0 +1,18 @@
+// Lint fixture: the panic-policy rules should fire on every site below.
+fn unmarked(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect("present");
+    assert!(a == b);
+    assert_eq!(a, b);
+    if a > b {
+        panic!("impossible");
+    }
+    match a {
+        0 => unreachable!(),
+        _ => a,
+    }
+}
+
+fn empty_marker(v: Option<u32>) -> u32 {
+    v.unwrap() // PANIC-POLICY:
+}

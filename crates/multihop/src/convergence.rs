@@ -93,7 +93,7 @@ pub fn tft_converge(
                     .map(|&j| current[j])
                     .chain(std::iter::once(current[i]))
                     .min()
-                    .expect("nonempty by construction")
+                    .expect("nonempty by construction") // PANIC-POLICY: invariant: nonempty by construction
             })
             .collect();
         let stable = next == current;
@@ -208,8 +208,8 @@ pub fn check_multihop_ne_threads(
                 game.stage_duration().value() * compliant / (1.0 - game.discount());
             Ok((check, total))
         });
-    let mut verdicts: std::collections::HashMap<usize, LocalVerdict> =
-        std::collections::HashMap::with_capacity(distinct.len());
+    let mut verdicts: std::collections::BTreeMap<usize, LocalVerdict> =
+        std::collections::BTreeMap::new();
     for (n_local, v) in distinct.into_iter().zip(solved) {
         verdicts.insert(n_local, v?);
     }
@@ -381,7 +381,7 @@ pub fn churn_converge(
                         .filter_map(|&j| state[j])
                         .chain(std::iter::once(w))
                         .min()
-                        .expect("self always present")
+                        .expect("self always present") // PANIC-POLICY: invariant: self always present
                 })
             })
             .collect();
@@ -442,7 +442,7 @@ impl NoisyTrace {
     /// Never: the trace always contains the initial round.
     #[must_use]
     pub fn final_windows(&self) -> &[u32] {
-        self.rounds.last().expect("initial round always present")
+        self.rounds.last().expect("initial round always present") // PANIC-POLICY: invariant: initial round always present
     }
 }
 

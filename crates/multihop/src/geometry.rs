@@ -62,8 +62,8 @@ impl Arena {
     /// Panics unless both dimensions are positive and finite.
     #[must_use]
     pub fn new(width: f64, height: f64) -> Self {
-        assert!(width > 0.0 && width.is_finite(), "arena width must be positive");
-        assert!(height > 0.0 && height.is_finite(), "arena height must be positive");
+        assert!(width > 0.0 && width.is_finite(), "arena width must be positive"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+        assert!(height > 0.0 && height.is_finite(), "arena height must be positive"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         Arena { width, height }
     }
 

@@ -8,7 +8,7 @@
 //! values (so it scales every candidate window's utility equally and drops
 //! out of the argmax), and `g ≫ e`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use macgame_dcf::optimal::{efficient_cw, efficient_cw_from_tau_star};
 use macgame_dcf::{DcfParams, UtilityParams};
@@ -87,7 +87,7 @@ pub fn local_optimal_windows_threads(
                 }
             })
         });
-    let mut cache: HashMap<usize, u32> = HashMap::with_capacity(distinct.len());
+    let mut cache: BTreeMap<usize, u32> = BTreeMap::new();
     for (n_local, w) in distinct.into_iter().zip(solved) {
         cache.insert(n_local, w?);
     }
@@ -195,7 +195,7 @@ pub fn local_taus(
     params: &DcfParams,
 ) -> Result<Vec<f64>, MultihopError> {
     use macgame_dcf::fixedpoint::solve_symmetric;
-    let mut cache: HashMap<usize, f64> = HashMap::new();
+    let mut cache: BTreeMap<usize, f64> = BTreeMap::new();
     let mut out = Vec::with_capacity(topology.len());
     for i in 0..topology.len() {
         let n_local = topology.local_population(i);

@@ -129,12 +129,12 @@ pub fn local_quality(
             .iter()
             .find(|(w, _)| *w == w_m)
             .map(|(_, p)| p[node])
-            .expect("w_m was added to the sweep");
+            .expect("w_m was added to the sweep"); // PANIC-POLICY: invariant: w_m was added to the sweep
         let best = sweep
             .iter()
             .map(|(w, p)| (*w, p[node]))
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("nonempty sweep");
+            .expect("nonempty sweep"); // PANIC-POLICY: invariant: nonempty sweep
         let fraction = if best.1 > 0.0 { (payoff_at_ne / best.1).min(1.0) } else { 1.0 };
         out.push(LocalQuality { node, payoff_at_ne, best, fraction });
     }
@@ -187,8 +187,8 @@ pub fn unilateral_quality(
                 best = Some((w, payoff));
             }
         }
-        let payoff_at_ne = payoff_at_ne.expect("w_m was added to the sweep");
-        let best = best.expect("nonempty sweep");
+        let payoff_at_ne = payoff_at_ne.expect("w_m was added to the sweep"); // PANIC-POLICY: invariant: w_m was added to the sweep
+        let best = best.expect("nonempty sweep"); // PANIC-POLICY: invariant: nonempty sweep
         let fraction = if best.1 > 0.0 { (payoff_at_ne / best.1).min(1.0) } else { 1.0 };
         out.push(LocalQuality { node, payoff_at_ne, best, fraction });
     }

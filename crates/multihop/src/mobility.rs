@@ -69,8 +69,8 @@ impl Mobility {
     /// `min > max`).
     #[must_use]
     pub fn new(n: usize, config: WaypointConfig, seed: u64) -> Self {
-        assert!(n > 0, "need at least one node");
-        assert!(
+        assert!(n > 0, "need at least one node"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+        assert!( // PANIC-POLICY: documented # Panics contract (programmer-error guard)
             config.min_speed >= 0.0 && config.max_speed >= config.min_speed,
             "invalid speed range"
         );

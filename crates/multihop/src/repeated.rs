@@ -53,7 +53,7 @@ pub struct SpatialRepeatedGame {
     noise_rng: ChaCha8Rng,
     /// Per-node, per-neighbor-slot observation history for GTFT averaging,
     /// keyed by neighbor id (neighborhoods change under mobility).
-    observation_history: Vec<std::collections::HashMap<usize, Vec<f64>>>,
+    observation_history: Vec<std::collections::BTreeMap<usize, Vec<f64>>>,
 }
 
 impl SpatialRepeatedGame {
@@ -85,7 +85,7 @@ impl SpatialRepeatedGame {
             reaction: GraphReaction::Tft,
             observation_noise: 0.0,
             noise_rng: ChaCha8Rng::seed_from_u64(seed.wrapping_add(0x6f62_7365)),
-            observation_history: vec![std::collections::HashMap::new(); n],
+            observation_history: vec![std::collections::BTreeMap::new(); n],
         })
     }
 
@@ -209,7 +209,7 @@ impl SpatialRepeatedGame {
                 }
             }
         }
-        Ok(self.stages.last().expect("just pushed"))
+        Ok(self.stages.last().expect("just pushed")) // PANIC-POLICY: invariant: just pushed
     }
 
     /// Plays until the profile is uniform and stable for `quiet_stages`

@@ -48,7 +48,7 @@ impl SpatialConfig {
             params: DcfParams::builder()
                 .access_mode(macgame_dcf::AccessMode::RtsCts)
                 .build()
-                .expect("paper parameters are valid"),
+                .expect("paper parameters are valid"), // PANIC-POLICY: constant parameters are valid by construction
             utility: UtilityParams::default(),
             range: 250.0,
             mobility: Some(WaypointConfig::paper()),
@@ -111,7 +111,7 @@ impl SpatialReport {
     #[must_use]
     pub fn payoff_rate(&self, node: usize, utility: &UtilityParams) -> f64 {
         let t = self.local_elapsed[node].value();
-        assert!(t > 0.0, "empty interval");
+        assert!(t > 0.0, "empty interval"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         let s = &self.node_stats[node];
         (s.successes as f64 * utility.gain - s.attempts as f64 * utility.cost) / t
     }

@@ -21,8 +21,8 @@ impl Topology {
     /// Panics if `positions` is empty or `range` is not positive.
     #[must_use]
     pub fn from_positions(positions: &[Point], range: f64) -> Self {
-        assert!(!positions.is_empty(), "need at least one node");
-        assert!(range > 0.0, "transmission range must be positive");
+        assert!(!positions.is_empty(), "need at least one node"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+        assert!(range > 0.0, "transmission range must be positive"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         let n = positions.len();
         let mut adjacency = vec![Vec::new(); n];
         for i in 0..n {
@@ -48,8 +48,8 @@ impl Topology {
         let mut adjacency = vec![Vec::new(); n];
         for (i, list) in lists.iter().enumerate() {
             for &j in list {
-                assert!(j < n, "neighbor index {j} out of range");
-                assert_ne!(i, j, "self-loops are not allowed");
+                assert!(j < n, "neighbor index {j} out of range"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+                assert_ne!(i, j, "self-loops are not allowed"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
                 if !adjacency[i].contains(&j) {
                     adjacency[i].push(j);
                 }
@@ -70,7 +70,7 @@ impl Topology {
     /// Panics if `n` is zero.
     #[must_use]
     pub fn line(n: usize) -> Self {
-        assert!(n > 0, "need at least one node");
+        assert!(n > 0, "need at least one node"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         Topology::from_adjacency((0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect())
     }
 
@@ -83,7 +83,7 @@ impl Topology {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn grid(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         let mut lists = vec![Vec::new(); rows * cols];
         for r in 0..rows {
             for c in 0..cols {
@@ -159,7 +159,7 @@ impl Topology {
         dist[source] = Some(0);
         let mut queue = VecDeque::from([source]);
         while let Some(u) = queue.pop_front() {
-            let du = dist[u].expect("queued nodes have distances");
+            let du = dist[u].expect("queued nodes have distances"); // PANIC-POLICY: invariant: queued nodes have distances
             for &v in &self.adjacency[u] {
                 if dist[v].is_none() {
                     dist[v] = Some(du + 1);

@@ -45,8 +45,8 @@ impl Summary {
     /// Panics on an empty sample or non-finite values.
     #[must_use]
     pub fn of(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "need at least one sample");
-        assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite");
+        assert!(!samples.is_empty(), "need at least one sample"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+        assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let std_dev = if n < 2 {

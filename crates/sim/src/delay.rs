@@ -52,7 +52,7 @@ impl DelayTracker {
     /// Panics if `node` is out of range or slots go backwards.
     pub fn record_success(&mut self, node: usize, slot: u64) {
         if let Some(prev) = self.last_success_slot[node] {
-            assert!(slot >= prev, "slots must be monotone");
+            assert!(slot >= prev, "slots must be monotone"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
             let gap = slot - prev;
             self.sum_slots[node] += gap as f64;
             self.max_slots[node] = self.max_slots[node].max(gap);

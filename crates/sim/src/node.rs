@@ -73,7 +73,7 @@ impl Node {
     /// Panics if `window == 0`.
     #[must_use]
     pub fn new(window: u32, max_stage: u32, rng: &mut impl Rng) -> Self {
-        assert!(window >= 1, "contention window must be at least 1");
+        assert!(window >= 1, "contention window must be at least 1"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         let mut node = Node { window, max_stage, stage: 0, counter: 0, stats: NodeStats::default() };
         node.counter = node.draw_backoff(rng);
         node
@@ -117,7 +117,7 @@ impl Node {
     ///
     /// Panics if `window == 0`.
     pub fn set_window(&mut self, window: u32, rng: &mut impl Rng) {
-        assert!(window >= 1, "contention window must be at least 1");
+        assert!(window >= 1, "contention window must be at least 1"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         self.window = window;
         self.stage = 0;
         self.counter = self.draw_backoff(rng);
@@ -143,7 +143,7 @@ impl Node {
     /// Panics if called while the node wants to transmit (counter is 0);
     /// the engine must resolve the transmission instead.
     pub fn observe_slot(&mut self) {
-        assert!(self.counter > 0, "transmitting node cannot observe a slot");
+        assert!(self.counter > 0, "transmitting node cannot observe a slot"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         self.counter -= 1;
     }
 
@@ -154,7 +154,7 @@ impl Node {
     ///
     /// Panics if the node was not due to transmit.
     pub fn on_success(&mut self, rng: &mut impl Rng) {
-        assert!(self.wants_to_transmit(), "success without transmission");
+        assert!(self.wants_to_transmit(), "success without transmission"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         self.stats.attempts += 1;
         self.stats.successes += 1;
         self.stage = 0;
@@ -168,7 +168,7 @@ impl Node {
     ///
     /// Panics if the node was not due to transmit.
     pub fn on_collision(&mut self, rng: &mut impl Rng) {
-        assert!(self.wants_to_transmit(), "collision without transmission");
+        assert!(self.wants_to_transmit(), "collision without transmission"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         self.stats.attempts += 1;
         self.stats.collisions += 1;
         if self.stage < self.max_stage {

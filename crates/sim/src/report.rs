@@ -73,7 +73,7 @@ impl StageReport {
     /// Panics if `node` is out of range or the interval is empty.
     #[must_use]
     pub fn payoff_rate(&self, node: usize, utility: &UtilityParams) -> f64 {
-        assert!(self.elapsed.value() > 0.0, "empty interval has no payoff rate");
+        assert!(self.elapsed.value() > 0.0, "empty interval has no payoff rate"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         let s = &self.node_stats[node];
         (s.successes as f64 * utility.gain - s.attempts as f64 * utility.cost)
             / self.elapsed.value()
@@ -97,7 +97,7 @@ impl StageReport {
     /// Panics if the interval is empty.
     #[must_use]
     pub fn throughput(&self, params: &DcfParams) -> f64 {
-        assert!(self.elapsed.value() > 0.0, "empty interval has no throughput");
+        assert!(self.elapsed.value() > 0.0, "empty interval has no throughput"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         let success: u64 = self.node_stats.iter().map(|s| s.successes).sum();
         success as f64 * params.payload_time().value() / self.elapsed.value()
     }

@@ -41,7 +41,7 @@ impl Trace {
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "trace capacity must be positive");
+        assert!(capacity > 0, "trace capacity must be positive"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
         Trace { capacity, events: Vec::with_capacity(capacity), head: 0, recorded: 0 }
     }
 
@@ -99,7 +99,7 @@ impl Trace {
             .map(|e| match e.outcome {
                 SlotOutcome::Idle => '.',
                 SlotOutcome::Success { node } => {
-                    char::from_digit((node % 10) as u32, 10).expect("mod 10 digit")
+                    char::from_digit((node % 10) as u32, 10).expect("mod 10 digit") // PANIC-POLICY: invariant: mod 10 digit
                 }
                 SlotOutcome::Collision { .. } => 'X',
                 SlotOutcome::ChannelError { .. } => 'E',

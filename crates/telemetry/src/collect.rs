@@ -135,7 +135,7 @@ impl CollectingRecorder {
         let mut counters: BTreeMap<String, u64> = BTreeMap::new();
         let mut histograms: BTreeMap<String, HistogramData> = BTreeMap::new();
         for shard in &self.shards {
-            let shard = shard.lock().unwrap();
+            let shard = shard.lock().unwrap(); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
             for (&name, &delta) in &shard.counters {
                 *counters.entry(name.to_owned()).or_insert(0) += delta;
             }
@@ -149,14 +149,14 @@ impl CollectingRecorder {
         let gauges = self
             .gauges
             .lock()
-            .unwrap()
+            .unwrap() // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
             .iter()
             .map(|(&name, &value)| (name.to_owned(), value))
             .collect();
         let timings = self
             .timings
             .lock()
-            .unwrap()
+            .unwrap() // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
             .iter()
             .map(|(&name, &data)| {
                 (
@@ -202,7 +202,7 @@ impl CollectingRecorder {
 
 impl Recorder for CollectingRecorder {
     fn counter_add(&self, name: &'static str, delta: u64) {
-        let mut shard = self.shard().lock().unwrap();
+        let mut shard = self.shard().lock().unwrap(); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
         *shard.counters.entry(name).or_insert(0) += delta;
     }
 
@@ -215,7 +215,7 @@ impl Recorder for CollectingRecorder {
         // last-write-wins would leak thread scheduling into the snapshot.
         self.gauges
             .lock()
-            .unwrap()
+            .unwrap() // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
             .entry(name)
             .and_modify(|v| *v = v.max(value))
             .or_insert(value);
@@ -226,7 +226,7 @@ impl Recorder for CollectingRecorder {
             return;
         }
         let n_bounds = self.bounds.len();
-        let mut shard = self.shard().lock().unwrap();
+        let mut shard = self.shard().lock().unwrap(); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
         let data = shard
             .histograms
             .entry(name)
@@ -235,7 +235,7 @@ impl Recorder for CollectingRecorder {
     }
 
     fn timing_record(&self, name: &'static str, nanos: u64) {
-        let mut timings = self.timings.lock().unwrap();
+        let mut timings = self.timings.lock().unwrap(); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
         let data = timings.entry(name).or_default();
         data.count += 1;
         data.total_nanos += nanos;

@@ -20,14 +20,14 @@ static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
 /// snapshots (e.g. tests) should serialize install/run/clear sequences
 /// themselves — the facade is a single global.
 pub fn set_recorder(recorder: Arc<dyn Recorder>) {
-    *RECORDER.write().unwrap() = Some(recorder);
+    *RECORDER.write().unwrap() = Some(recorder); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
     ENABLED.store(true, Ordering::Release);
 }
 
 /// Remove the global recorder, restoring the zero-cost no-op behaviour.
 pub fn clear_recorder() {
     ENABLED.store(false, Ordering::Release);
-    *RECORDER.write().unwrap() = None;
+    *RECORDER.write().unwrap() = None; // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
 }
 
 /// Whether a recorder is currently installed.
@@ -39,7 +39,7 @@ fn with_recorder(f: impl FnOnce(&dyn Recorder)) {
     if !ENABLED.load(Ordering::Relaxed) {
         return;
     }
-    if let Some(recorder) = RECORDER.read().unwrap().as_deref() {
+    if let Some(recorder) = RECORDER.read().unwrap().as_deref() { // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
         f(recorder);
     }
 }

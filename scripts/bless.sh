@@ -20,3 +20,5 @@ cargo test -q --test conformance_golden
 echo "==> blessed fixtures:"
 git status --short tests/golden/ || true
 echo "Inspect 'git diff tests/golden/' before committing."
+echo "Reminder: golden updates ship with a clean lint run — check with"
+echo "  cargo run --release -p macgame-bench --bin repro -- lint"

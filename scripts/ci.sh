@@ -27,6 +27,9 @@ MACGAME_THREADS=2 cargo run --release -p macgame-bench --bin repro -- robustness
 cmp artifacts/ROBUSTNESS.threads1.json artifacts/ROBUSTNESS.json
 rm artifacts/ROBUSTNESS.threads1.json
 
+echo "==> workspace invariant lints (repro -- lint)"
+cargo run --release -p macgame-bench --bin repro -- lint
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
