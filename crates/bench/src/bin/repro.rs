@@ -79,7 +79,7 @@ fn main() {
             "tournament" => tournament(),
             "validate" => validate(quick),
             "myopia" => myopia(),
-            "bench-solver" => bench_solver(),
+            "bench-solver" => bench_solver(quick),
             "conformance" => conformance(quick),
             "profile" => profile(quick),
             "robustness" => robustness(quick),
@@ -483,8 +483,11 @@ fn validate(quick: bool) -> Result<(), BenchError> {
 /// Machine-readable solver benchmark: the Table II NE-interval scan at
 /// n = 10, timed as the original serial cold damped iteration versus the
 /// parallel + warm-chained + accelerated scan, plus the canonicalizing
-/// cache on a revisit. Emits `artifacts/BENCH_solver.json`.
-fn bench_solver() -> Result<(), BenchError> {
+/// cache on a revisit, plus an n-scaling section showing the class-based
+/// solver's per-solve cost staying flat from n = 10² to n = 10⁶ while the
+/// dense node-level reference grows linearly (and is skipped beyond
+/// n = 10⁴). Emits `artifacts/BENCH_solver.json`.
+fn bench_solver(quick: bool) -> Result<(), BenchError> {
     use macgame_core::deviation::symmetric_stage;
     use macgame_core::equilibrium::{ne_interval, scan_ne_interval, DEFAULT_NE_EPSILON};
     use macgame_core::GameConfig;
@@ -595,7 +598,7 @@ fn bench_solver() -> Result<(), BenchError> {
         cache.hits(),
         cache.len()
     );
-    let payload = SolverBench {
+    let ne_scan = SolverBench {
         n,
         scan_lo: lo,
         scan_hi: hi,
@@ -610,6 +613,176 @@ fn bench_solver() -> Result<(), BenchError> {
         cache_hits: cache.hits(),
         cache_entries: cache.len(),
     };
+
+    // ── n-scaling: class aggregation makes the solve cost independent of
+    // the population size ──────────────────────────────────────────────
+    //
+    // Every profile below has k ≤ 3 distinct windows, so the class solver
+    // iterates at most 3 (τ_c, p_c) pairs no matter how large n grows. The
+    // dense node-level reference (`solve_dense`) prices the same profiles
+    // at O(n) per sweep and is only run up to n = 10⁴, where the class
+    // path must already be ≥ 100× faster.
+    use macgame_dcf::classes::{class_slot_stats, class_utilities, ClassProfile};
+    use macgame_dcf::fixedpoint::{solve_classes, solve_dense};
+    use macgame_dcf::parallel::solve_class_sweep;
+
+    #[derive(serde::Serialize)]
+    struct ScaleRow {
+        n: usize,
+        field_window: u32,
+        band_windows: usize,
+        band_us_per_solve: f64,
+        deviant_profiles: usize,
+        deviant_us_per_solve: f64,
+        three_class_us: f64,
+        dense_profiles: Option<usize>,
+        dense_us_per_solve: Option<f64>,
+        class_vs_dense_speedup: Option<f64>,
+    }
+
+    const MAX_CW: u32 = 1 << 20;
+    const DENSE_CUTOFF: usize = 10_000;
+    let populations: &[usize] = if quick {
+        &[100, 1_000, 10_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000, 1_000_000]
+    };
+    // Near-degenerate extremes (a W = 1 deviant against a huge field) floor
+    // around 1e-11 in double precision; 1e-10 is ample for utility-level
+    // comparisons and is applied to the class and dense paths alike.
+    let options = SolveOptions { tolerance: 1e-10, ..SolveOptions::default() };
+    let mut scaling: Vec<ScaleRow> = Vec::new();
+    for &pop in populations {
+        // A field window that grows with the population (the NE-style
+        // operating point scales roughly linearly in n), clamped to the
+        // largest window the model accepts.
+        let field_w = 16u64.saturating_mul(pop as u64).min(u64::from(MAX_CW)) as u32;
+
+        // Homogeneous band scan: 32 windows bracketing the field window,
+        // each a k = 1 profile, warm-chained across the band.
+        let step = (field_w / 63).max(1);
+        let band: Vec<ClassProfile> = (0..32u32)
+            .map(|i| {
+                let w = (field_w / 2 + i * step).clamp(1, MAX_CW);
+                ClassProfile::new(vec![w], vec![pop])
+            })
+            .collect::<Result<_, _>>()?;
+        let t = Instant::now();
+        let band_eqs = solve_class_sweep(&band, game.params(), options, 0, None)?;
+        let band_us_per_solve = t.elapsed().as_secs_f64() * 1e6 / band.len() as f64;
+        for (profile, eq) in band.iter().zip(&band_eqs) {
+            black_box(class_slot_stats(profile, &eq.taus, game.params()));
+        }
+
+        // 1-deviant-vs-field: log-spaced deviant windows from 1 to the
+        // field window, each a 2-class profile (1 deviant, n−1 field
+        // nodes), warm-chained in deviant-window order.
+        let mut deviant_windows: Vec<u32> = (0..32u32)
+            .map(|i| {
+                let frac = f64::from(i) / 31.0;
+                (frac * f64::from(field_w).ln()).exp().round().clamp(1.0, f64::from(MAX_CW))
+                    as u32
+            })
+            .collect();
+        deviant_windows.dedup();
+        deviant_windows.retain(|&w| w != field_w);
+        let deviants: Vec<ClassProfile> = deviant_windows
+            .iter()
+            .map(|&w| ClassProfile::new(vec![w, field_w], vec![1, pop - 1]))
+            .collect::<Result<_, _>>()?;
+        let t = Instant::now();
+        let dev_eqs = solve_class_sweep(&deviants, game.params(), options, 0, None)?;
+        let deviant_us_per_solve = t.elapsed().as_secs_f64() * 1e6 / deviants.len() as f64;
+        for (profile, eq) in deviants.iter().zip(&dev_eqs) {
+            black_box(class_utilities(
+                profile,
+                &eq.taus,
+                &eq.collision_probs,
+                game.params(),
+                game.utility(),
+            ));
+        }
+
+        // One 3-class profile: thirds of the population at a quarter, one
+        // and four times the field window (clamps may merge classes at the
+        // top of the window range; `ClassProfile::new` handles that).
+        let third = pop / 3;
+        let three = ClassProfile::new(
+            vec![(field_w / 4).max(1), field_w, field_w.saturating_mul(4).min(MAX_CW)],
+            vec![third, third, pop - 2 * third],
+        )?;
+        let t = Instant::now();
+        let eq3 = solve_classes(&three, game.params(), options)?;
+        let three_class_us = t.elapsed().as_secs_f64() * 1e6;
+        black_box(class_slot_stats(&three, &eq3.taus, game.params()));
+
+        // Dense node-level reference on a handful of the 2-class profiles,
+        // feasible only at small n.
+        let (dense_profiles, dense_us_per_solve, class_vs_dense_speedup) =
+            if pop <= DENSE_CUTOFF {
+                let sample: Vec<Vec<u32>> =
+                    deviants.iter().take(4).map(ClassProfile::expand_windows).collect();
+                let t = Instant::now();
+                for windows in &sample {
+                    black_box(solve_dense(windows, game.params(), options)?);
+                }
+                let us = t.elapsed().as_secs_f64() * 1e6 / sample.len() as f64;
+                (Some(sample.len()), Some(us), Some(us / deviant_us_per_solve))
+            } else {
+                (None, None, None)
+            };
+
+        scaling.push(ScaleRow {
+            n: pop,
+            field_window: field_w,
+            band_windows: band.len(),
+            band_us_per_solve,
+            deviant_profiles: deviants.len(),
+            deviant_us_per_solve,
+            three_class_us,
+            dense_profiles,
+            dense_us_per_solve,
+            class_vs_dense_speedup,
+        });
+    }
+
+    let body: Vec<Vec<String>> = scaling
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.field_window.to_string(),
+                format!("{:.1}", r.band_us_per_solve),
+                format!("{:.1}", r.deviant_us_per_solve),
+                format!("{:.1}", r.three_class_us),
+                r.dense_us_per_solve.map_or_else(|| "skipped".into(), |v| format!("{v:.1}")),
+                r.class_vs_dense_speedup.map_or_else(|| "-".into(), |v| format!("{v:.0}×")),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &[
+                "n",
+                "W_field",
+                "k=1 µs/solve",
+                "k=2 µs/solve",
+                "k=3 µs",
+                "dense µs/solve",
+                "speedup",
+            ],
+            &body
+        )
+    );
+
+    #[derive(serde::Serialize)]
+    struct SolverBenchArtifact {
+        ne_scan: SolverBench,
+        scaling: Vec<ScaleRow>,
+    }
+
+    let payload = SolverBenchArtifact { ne_scan, scaling };
     let path = write_artifact("BENCH_solver", &payload)?;
     println!("artifact: {}", path.display());
     Ok(())

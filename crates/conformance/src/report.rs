@@ -316,6 +316,76 @@ fn robustness_claims() -> Result<Vec<Claim>, ConformanceError> {
     Ok(claims)
 }
 
+/// Gates the class-based aggregation path introduced for million-node
+/// scans:
+///
+/// * the public `solve` (which collapses to classes internally), the
+///   explicit collapse → class-solve → expand pipeline, and the
+///   class-keyed `SolveCache` all produce **bitwise identical**
+///   equilibria on the Table II/III fixture profiles;
+/// * the class path agrees with the dense node-level reference iteration
+///   (`solve_dense`) to 1e-12 on the same profiles.
+fn class_solver_claims() -> Result<Vec<Claim>, ConformanceError> {
+    use macgame_dcf::cache::SolveCache;
+    use macgame_dcf::fixedpoint::{solve, solve_classes, solve_dense, SolveOptions};
+    use macgame_dcf::ClassProfile;
+
+    let basic = DcfParams::default();
+    let rtscts = DcfParams::builder().access_mode(AccessMode::RtsCts).build()?;
+    let options = SolveOptions::default();
+    let mut claims = Vec::new();
+
+    // Table II (basic) and Table III (RTS/CTS) operating points, both
+    // symmetric and heterogeneous.
+    let basic_profiles: &[&[u32]] = &[
+        &[32; 5],
+        &[PAPER_BASIC_N5_W_STAR; 5],
+        &[PAPER_BASIC_N5_W_STAR; 10],
+        &[128; 20],
+        &[16, 48, 96, 192],
+    ];
+    let rtscts_profiles: &[&[u32]] = &[&[PAPER_RTSCTS_N20_W_STAR; 8], &[8, 48, 48, 256]];
+
+    let mut bitwise = true;
+    let mut worst_gap = 0.0f64;
+    let mut checked = 0usize;
+    for (params, profiles) in [(&basic, basic_profiles), (&rtscts, rtscts_profiles)] {
+        let cache = SolveCache::new(*params, options);
+        for profile in profiles {
+            let public = solve(profile, params, options)?;
+            let (classes, assignment) = ClassProfile::from_windows(profile)?;
+            let expanded = solve_classes(&classes, params, options)?.expand(&assignment);
+            bitwise &= public == expanded;
+            let cached = cache.solve(profile)?;
+            bitwise &= public == cached;
+            let dense = solve_dense(profile, params, options)?;
+            for i in 0..profile.len() {
+                worst_gap = worst_gap.max((public.taus[i] - dense.taus[i]).abs());
+                worst_gap = worst_gap
+                    .max((public.collision_probs[i] - dense.collision_probs[i]).abs());
+            }
+            checked += 1;
+        }
+    }
+
+    claims.push(Claim::boolean(
+        "class-solver-bitwise-consistency",
+        bitwise,
+        format!(
+            "{checked} Table II/III profiles: solve == collapse→solve_classes→expand == \
+             SolveCache hit, bitwise"
+        ),
+    ));
+    claims.push(Claim::gated(
+        "class-solver-agrees-with-dense-reference",
+        worst_gap,
+        1e-12,
+        format!("max |τ|, |p| gap vs solve_dense over {checked} profiles: {worst_gap:.3e}"),
+    ));
+
+    Ok(claims)
+}
+
 fn golden_claim<T: Serialize>(name: &str, value: &T) -> Result<Claim, ConformanceError> {
     let claim_name = format!("golden-{name}");
     match check_golden(name, value) {
@@ -365,6 +435,7 @@ pub fn run_conformance(
         )
     }));
     claims.extend(robustness_claims()?);
+    claims.extend(class_solver_claims()?);
     telemetry::counter("conformance.claims", claims.len() as u64);
     Ok(ConformanceReport {
         slots: settings.slots,
@@ -429,6 +500,15 @@ mod tests {
         assert_eq!(claims.len(), 3);
         for c in &claims {
             assert!(c.pass, "robustness claim {} failed: {}", c.name, c.detail);
+        }
+    }
+
+    #[test]
+    fn class_solver_claims_all_pass() {
+        let claims = class_solver_claims().unwrap();
+        assert_eq!(claims.len(), 2);
+        for c in &claims {
+            assert!(c.pass, "class-solver claim {} failed: {}", c.name, c.detail);
         }
     }
 }

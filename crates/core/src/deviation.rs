@@ -14,8 +14,9 @@
 //! expense; long-sighted ones do not — the crux of why TFT sustains the
 //! efficient NE.
 
+use macgame_dcf::classes::SymmetricMemo;
 use macgame_dcf::fixedpoint::{solve, solve_symmetric, SolveOptions};
-use macgame_dcf::parallel::{resolve_threads, solve_sweep};
+use macgame_dcf::parallel::{resolve_threads, solve_sweep_seeded};
 use macgame_dcf::utility::{all_utilities, node_utility};
 use serde::{Deserialize, Serialize};
 
@@ -81,15 +82,71 @@ pub fn symmetric_stage_table(
     hi: u32,
     threads: usize,
 ) -> Result<Vec<f64>, GameError> {
+    Ok(stage_memo(game, hi, threads)?.stages)
+}
+
+/// Scan-scoped memo bundling the symmetric stage table with the
+/// [`SymmetricMemo`] of bisection roots it was computed from. Threading it
+/// through [`deviation_sweep`]'s internals lets the per-candidate sweeps
+/// reuse the same roots for their homogeneous cold starts instead of
+/// re-bisecting. Memoized values are exactly what the direct computations
+/// would produce, so every consumer is bitwise-identical with and without
+/// the memo.
+#[derive(Debug)]
+pub struct StageMemo {
+    pub(crate) stages: Vec<f64>,
+    pub(crate) roots: SymmetricMemo,
+}
+
+impl StageMemo {
+    /// Stage utility rates indexed by window (slot 0 is `NaN`, never read).
+    #[must_use]
+    pub fn stages(&self) -> &[f64] {
+        &self.stages
+    }
+
+    /// The memoized bisection roots the stages were computed from.
+    #[must_use]
+    pub fn roots(&self) -> &SymmetricMemo {
+        &self.roots
+    }
+}
+
+/// Builds a [`StageMemo`] covering windows `1..=hi`. Every `(n, w)` root
+/// bisects exactly once — during this build — so scans that consult the
+/// memo afterwards only ever hit it.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn stage_memo(game: &GameConfig, hi: u32, threads: usize) -> Result<StageMemo, GameError> {
+    let roots = SymmetricMemo::new(*game.params());
     let windows: Vec<u32> = (1..=hi).collect();
     let stages: Vec<Result<f64, GameError>> =
-        rayon::map_in_order(windows, resolve_threads(threads), |w| symmetric_stage(game, w));
+        rayon::map_in_order(windows, resolve_threads(threads), |w| {
+            symmetric_stage_rooted(game, w, &roots)
+        });
     let mut table = Vec::with_capacity(hi as usize + 1);
     table.push(f64::NAN);
     for stage in stages {
         table.push(stage?);
     }
-    Ok(table)
+    Ok(StageMemo { stages: table, roots })
+}
+
+/// [`symmetric_stage`] through a shared root memo — bitwise-identical to
+/// the direct computation, since a memo hit returns the exact bisection
+/// root.
+fn symmetric_stage_rooted(
+    game: &GameConfig,
+    w: u32,
+    roots: &SymmetricMemo,
+) -> Result<f64, GameError> {
+    let n = game.player_count();
+    let sym = roots.solve(n, w)?;
+    let taus = vec![sym.tau; n];
+    let ps = vec![sym.collision_prob; n];
+    Ok(node_utility(0, &taus, &ps, game.params(), game.utility()))
 }
 
 /// Full accounting of a short-sighted deviation.
@@ -207,17 +264,17 @@ pub fn deviation_sweep(
     deviation_sweep_memo(game, w_star, reaction_stages, delta_s, threads, None)
 }
 
-/// [`deviation_sweep`] with an optional precomputed symmetric-stage memo
-/// (from [`symmetric_stage_table`], covering at least `1..=w_star`). The
-/// memo entries are the exact values `symmetric_stage` would return, so
-/// results are bitwise-identical with and without it.
+/// [`deviation_sweep`] with an optional precomputed [`StageMemo`] (from
+/// [`stage_memo`], covering at least `1..=w_star`). The memoized stages
+/// and roots are the exact values the direct computations would return,
+/// so results are bitwise-identical with and without the memo.
 pub(crate) fn deviation_sweep_memo(
     game: &GameConfig,
     w_star: u32,
     reaction_stages: u32,
     delta_s: f64,
     threads: usize,
-    memo: Option<&[f64]>,
+    memo: Option<&StageMemo>,
 ) -> Result<Vec<DeviationOutcome>, GameError> {
     if reaction_stages == 0 {
         return Err(GameError::InvalidConfig("TFT reaction takes at least one stage".into()));
@@ -234,7 +291,7 @@ pub(crate) fn deviation_sweep_memo(
     }
     let t = game.stage_duration().value();
     let at_star = match memo {
-        Some(table) => table[w_star as usize],
+        Some(m) => m.stages[w_star as usize],
         None => symmetric_stage(game, w_star)?,
     };
     let m = reaction_stages as i32;
@@ -243,6 +300,8 @@ pub(crate) fn deviation_sweep_memo(
     let compliant_payoff = t * at_star / (1.0 - delta_s);
 
     // One deviator against the W* crowd, for every w_s: warm-chained.
+    // The memo's roots seed the homogeneous w_s == w_star profile when it
+    // leads a chunk, sparing its bisection.
     let profiles: Vec<Vec<u32>> = (1..=w_star)
         .map(|w_s| {
             let mut p = vec![w_star; n];
@@ -250,12 +309,18 @@ pub(crate) fn deviation_sweep_memo(
             p
         })
         .collect();
-    let eqs = solve_sweep(&profiles, game.params(), SolveOptions::default(), threads)?;
+    let eqs = solve_sweep_seeded(
+        &profiles,
+        game.params(),
+        SolveOptions::default(),
+        threads,
+        memo.map(StageMemo::roots),
+    )?;
 
     // Post-punishment stages: everyone at w_s (bisection, cheap) — served
     // from the memo when the caller scans many crowd windows.
     let afters: Vec<f64> = match memo {
-        Some(table) => (1..=w_star).map(|w_s| table[w_s as usize]).collect(),
+        Some(m) => (1..=w_star).map(|w_s| m.stages[w_s as usize]).collect(),
         None => {
             let windows: Vec<u32> = (1..=w_star).collect();
             rayon::map_in_order(windows, resolve_threads(threads), |w_s| {

@@ -12,7 +12,9 @@ use macgame_dcf::optimal;
 use macgame_dcf::parallel::resolve_threads;
 use serde::{Deserialize, Serialize};
 
-use crate::deviation::{deviation_sweep_memo, deviator_stage, symmetric_stage, symmetric_stage_table};
+use crate::deviation::{
+    deviation_sweep_memo, deviator_stage, stage_memo, symmetric_stage, StageMemo,
+};
 use crate::error::GameError;
 use crate::game::GameConfig;
 
@@ -95,16 +97,16 @@ pub fn check_symmetric_ne(
     check_symmetric_ne_memo(game, w, reaction_stages, epsilon, None)
 }
 
-/// [`check_symmetric_ne`] with an optional symmetric-stage memo (from
-/// [`crate::deviation::symmetric_stage_table`], covering at least `1..=w`).
-/// Memo entries equal what `symmetric_stage` returns, so the check is
-/// bitwise-identical with and without it.
+/// [`check_symmetric_ne`] with an optional [`StageMemo`] (from
+/// [`crate::deviation::stage_memo`], covering at least `1..=w`).
+/// Memoized stages and bisection roots equal what the direct computations
+/// return, so the check is bitwise-identical with and without the memo.
 fn check_symmetric_ne_memo(
     game: &GameConfig,
     w: u32,
     reaction_stages: u32,
     epsilon: f64,
-    memo: Option<&[f64]>,
+    memo: Option<&StageMemo>,
 ) -> Result<NeCheck, GameError> {
     if epsilon < 0.0 {
         return Err(GameError::InvalidConfig("epsilon must be non-negative".into()));
@@ -118,7 +120,7 @@ fn check_symmetric_ne_memo(
     // A NE candidate must first be individually rational (non-negative
     // payoff; Theorem 2 excludes W_c < W_c⁰).
     let at_w = match memo {
-        Some(table) => table[w as usize],
+        Some(m) => m.stages()[w as usize],
         None => symmetric_stage(game, w)?,
     };
     if at_w < 0.0 {
@@ -189,8 +191,10 @@ pub fn scan_ne_interval(
         )));
     }
     // One bisection per window for the whole scan; every check then reads
-    // its compliant and post-punishment stages from the shared memo.
-    let memo = symmetric_stage_table(game, hi, threads)?;
+    // its compliant and post-punishment stages from the shared memo, and
+    // the per-check deviation sweeps reuse the memoized bisection roots
+    // for their homogeneous cold starts.
+    let memo = stage_memo(game, hi, threads)?;
     let windows: Vec<u32> = (lo..=hi).collect();
     let checks: Vec<Result<NeCheck, GameError>> =
         rayon::map_in_order(windows, resolve_threads(threads), |w| {

@@ -3,14 +3,21 @@
 //! The coupled `(τ, p)` system is symmetric under player relabeling: if
 //! `σ` permutes the window profile, the solution permutes the same way.
 //! Scans, payoff-table builds and tournaments therefore revisit the same
-//! *multiset* of windows under many orderings. [`SolveCache`] exploits
-//! this by keying on the sorted profile and remapping the stored solution
-//! through the inverse permutation on every lookup.
+//! *multiset* of windows under many orderings. [`SolveCache`] keys on the
+//! canonical [`ClassProfile`] of that multiset — multiplicity merge
+//! subsumes the old sorted-profile canonicalization — and stores the
+//! class-level solution, expanding it onto the caller's player order on
+//! every lookup.
 //!
-//! Both the hit and the miss path solve the **sorted** profile and then
-//! remap, so a cache hit is bitwise-identical to a fresh solve of the
-//! same profile — there is no numerical penalty for going through the
-//! cache.
+//! Hit and miss both expand the **same** stored class solution, and the
+//! class solve is exactly what [`crate::fixedpoint::solve`] runs
+//! internally, so a cache lookup is bitwise-identical to a fresh
+//! [`crate::fixedpoint::solve`] of the same profile — there is no
+//! numerical penalty for going through the cache.
+//!
+//! Profiles that arrive already sorted (the common case in scans) skip
+//! the clone-and-argsort canonicalization entirely and collapse by
+//! run-length encoding in one pass.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -19,8 +26,9 @@ use std::sync::{Arc, RwLock};
 
 use macgame_telemetry as telemetry;
 
+use crate::classes::{ClassEquilibrium, ClassProfile};
 use crate::error::DcfError;
-use crate::fixedpoint::{solve, Equilibrium, SolveOptions};
+use crate::fixedpoint::{solve_classes, Equilibrium, SolveOptions};
 use crate::params::DcfParams;
 
 /// Stable argsort of a window profile: returns the sorted profile and the
@@ -47,14 +55,14 @@ pub fn remap(canonical: &Equilibrium, perm: &[usize]) -> Equilibrium {
     Equilibrium { taus, collision_probs, iterations: canonical.iterations }
 }
 
-/// Shared profile → [`Equilibrium`] cache for one `(params, options)`
+/// Shared profile → class-solution cache for one `(params, options)`
 /// pair. Wrap in an [`Arc`] to share across threads; all methods take
 /// `&self`.
 #[derive(Debug)]
 pub struct SolveCache {
     params: DcfParams,
     options: SolveOptions,
-    map: RwLock<HashMap<Vec<u32>, Arc<Equilibrium>>>,
+    map: RwLock<HashMap<ClassProfile, Arc<ClassEquilibrium>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -84,22 +92,42 @@ impl SolveCache {
         self.options
     }
 
-    /// Solves `windows`, serving permutations of previously-seen profiles
-    /// from the cache. The result is bitwise-identical to
-    /// `remap(solve(sorted), perm)`, whether it was a hit or a miss.
+    /// Solves `windows`, serving permutations (and multiplicity
+    /// re-orderings) of previously-seen profiles from the cache. The
+    /// result is bitwise-identical to [`crate::fixedpoint::solve`] on the
+    /// same profile, whether it was a hit or a miss.
+    ///
+    /// Already-sorted profiles — the common case in scans — skip the
+    /// clone-and-argsort canonicalization and collapse by run-length
+    /// encoding directly.
     ///
     /// # Errors
     ///
-    /// Propagates [`solve`] errors (invalid profile, non-convergence).
+    /// Propagates solver errors (invalid profile, non-convergence).
     pub fn solve(&self, windows: &[u32]) -> Result<Equilibrium, DcfError> {
-        let (sorted, perm) = canonicalize(windows);
-        let canonical = self.solve_canonical(sorted)?;
-        Ok(remap(&canonical, &perm))
+        if windows.windows(2).all(|pair| pair[0] <= pair[1]) && !windows.is_empty() {
+            telemetry::counter("dcf.cache.sorted_fast_path", 1);
+            let profile = ClassProfile::from_sorted(windows)?;
+            let solved = self.solve_class_profile(&profile)?;
+            return Ok(solved.expand_sorted(&profile));
+        }
+        let (profile, assignment) = ClassProfile::from_windows(windows)?;
+        let solved = self.solve_class_profile(&profile)?;
+        Ok(solved.expand(&assignment))
     }
 
-    /// Solves an already-sorted profile, sharing the stored [`Arc`].
-    fn solve_canonical(&self, sorted: Vec<u32>) -> Result<Arc<Equilibrium>, DcfError> {
-        if let Some(hit) = self.map.read().expect("cache lock poisoned").get(&sorted) { // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
+    /// Solves a [`ClassProfile`] through the cache, sharing the stored
+    /// [`Arc`] — the O(k) entry point for population-scale callers that
+    /// never materialize node-level vectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (non-convergence, invalid damping).
+    pub fn solve_class_profile(
+        &self,
+        profile: &ClassProfile,
+    ) -> Result<Arc<ClassEquilibrium>, DcfError> {
+        if let Some(hit) = self.map.read().expect("cache lock poisoned").get(profile) { // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
             self.hits.fetch_add(1, Ordering::Relaxed);
             telemetry::counter("dcf.cache.hits", 1);
             return Ok(Arc::clone(hit));
@@ -107,9 +135,10 @@ impl SolveCache {
         // Solve outside the write lock: concurrent misses on the same key
         // may duplicate work, but never block each other, and the first
         // insert wins so every caller observes one canonical solution.
-        let solved = Arc::new(solve(&sorted, &self.params, self.options)?);
+        // The key is only cloned here, on the miss path.
+        let solved = Arc::new(solve_classes(profile, &self.params, self.options)?);
         let mut map = self.map.write().expect("cache lock poisoned"); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
-        match map.entry(sorted) {
+        match map.entry(profile.clone()) {
             Entry::Occupied(existing) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter("dcf.cache.hits", 1);
@@ -159,6 +188,7 @@ impl SolveCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fixedpoint::solve;
 
     fn cache() -> SolveCache {
         SolveCache::new(DcfParams::default(), SolveOptions::default())
@@ -201,14 +231,47 @@ mod tests {
     }
 
     #[test]
-    fn matches_direct_solver_within_tolerance() {
+    fn matches_direct_solver_bitwise() {
+        // Both sorted (fast path) and unsorted lookups reproduce the
+        // public solver exactly — it runs the same collapse internally.
         let c = cache();
-        let profile = [128u32, 8, 32];
-        let cached = c.solve(&profile).unwrap();
-        let direct = solve(&profile, &DcfParams::default(), SolveOptions::default()).unwrap();
-        for i in 0..profile.len() {
-            assert!((cached.taus[i] - direct.taus[i]).abs() < 1e-9);
+        for profile in [vec![128u32, 8, 32], vec![8u32, 32, 128], vec![76u32; 5]] {
+            let cached = c.solve(&profile).unwrap();
+            let direct = solve(&profile, &DcfParams::default(), SolveOptions::default()).unwrap();
+            assert_eq!(cached, direct, "profile {profile:?}");
         }
+    }
+
+    #[test]
+    fn sorted_fast_path_hit_is_bitwise_identical() {
+        // Micro-regression for the no-allocation sorted path: a sorted
+        // lookup, a repeated sorted lookup (hit), and a permuted lookup of
+        // the same multiset must all agree bitwise on each player's values.
+        let c = cache();
+        let sorted = [16u32, 16, 64, 256];
+        let first = c.solve(&sorted).unwrap();
+        assert_eq!((c.hits(), c.misses()), (0, 1));
+        let hit = c.solve(&sorted).unwrap();
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(first, hit);
+        let permuted = c.solve(&[256u32, 16, 64, 16]).unwrap();
+        assert_eq!((c.hits(), c.misses()), (2, 1));
+        assert_eq!(permuted.taus[0], first.taus[3]);
+        assert_eq!(permuted.taus[1], first.taus[0]);
+        assert_eq!(permuted.taus[2], first.taus[2]);
+        assert_eq!(permuted.taus[3], first.taus[1]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn class_profile_lookups_share_entries_with_node_lookups() {
+        let c = cache();
+        let profile = ClassProfile::new(vec![16, 64], vec![2, 3]).unwrap();
+        let class_solved = c.solve_class_profile(&profile).unwrap();
+        assert_eq!(c.misses(), 1);
+        let node_solved = c.solve(&[16, 16, 64, 64, 64]).unwrap();
+        assert_eq!(c.hits(), 1);
+        assert_eq!(class_solved.expand_sorted(&profile), node_solved);
     }
 
     #[test]

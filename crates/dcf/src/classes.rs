@@ -1,0 +1,545 @@
+//! Class-based aggregation of window profiles.
+//!
+//! Every quantity in the coupled `(τ, p)` system of paper Eqs. (2)–(3)
+//! depends on the window profile only through the *multiset* of windows:
+//! nodes sharing a window are exchangeable, so a profile with `k` distinct
+//! windows has at most `k` distinct `(τ_c, p_c)` pairs. [`ClassProfile`]
+//! stores that compressed form — `k` distinct windows with per-class
+//! multiplicities — and the class solver in [`crate::fixedpoint`] iterates
+//! `k` unknowns instead of `2n`, with the collision coupling computed from
+//! class multiplicities via log-domain products:
+//!
+//! ```text
+//! p_c = 1 − Π_j (1 − τ_j)^{n_j} / (1 − τ_c)
+//!     = 1 − exp(Σ_j n_j·ln(1 − τ_j) − ln(1 − τ_c))
+//! ```
+//!
+//! This is **exact** for any profile (no mean-field approximation): the
+//! map is the node-level sweep restricted to the class-constant subspace,
+//! which is invariant under the iteration and contains the unique fixed
+//! point. Node-level [`Equilibrium`] values are reconstructed by expansion
+//! through a node → class assignment. The per-sweep cost drops from O(n)
+//! to O(k), making population-scale workloads (`n = 10^6`, `k ≤ 3`)
+//! as cheap as the paper's `n = 10` tables.
+//!
+//! The module also hosts [`SymmetricMemo`] — a per-scan memo of the
+//! [`solve_symmetric`] bisection roots used to seed homogeneous solves —
+//! and class-level slot/utility helpers that keep payoff evaluation O(k)
+//! as well.
+
+use std::collections::BTreeMap;
+use std::sync::RwLock;
+
+use macgame_telemetry as telemetry;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DcfError;
+use crate::fixedpoint::{solve_symmetric, Equilibrium, SymmetricPoint};
+use crate::markov::transmission_probability;
+use crate::params::DcfParams;
+use crate::throughput::SlotStats;
+use crate::utility::UtilityParams;
+
+/// A window profile in class form: `k` strictly increasing distinct
+/// windows with their multiplicities. This is the canonical representation
+/// of a window *multiset* — two node-level profiles collapse to the same
+/// `ClassProfile` iff they are permutations of each other, so it doubles
+/// as the cache key that subsumes permutation canonicalization.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClassProfile {
+    /// Distinct windows, strictly increasing.
+    windows: Vec<u32>,
+    /// Multiplicity of each window, ≥ 1.
+    counts: Vec<usize>,
+}
+
+impl ClassProfile {
+    /// Builds a profile directly from class windows and multiplicities.
+    /// Classes are sorted by window and duplicate windows are merged (their
+    /// multiplicities add), so the result is always canonical. This is the
+    /// constructor for synthetic large-`n` populations where a node-level
+    /// `Vec<u32>` would be wasteful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcfError::InvalidParameter`] for an empty profile, a zero
+    /// window, a zero multiplicity, or mismatched lengths.
+    pub fn new(windows: Vec<u32>, counts: Vec<usize>) -> Result<Self, DcfError> {
+        if windows.len() != counts.len() {
+            return Err(DcfError::invalid("counts", "need one multiplicity per class"));
+        }
+        if windows.is_empty() {
+            return Err(DcfError::invalid("windows", "need at least one class"));
+        }
+        if windows.contains(&0) {
+            return Err(DcfError::invalid("windows", "contention windows must be at least 1"));
+        }
+        if counts.contains(&0) {
+            return Err(DcfError::invalid("counts", "class multiplicities must be at least 1"));
+        }
+        let mut classes: Vec<(u32, usize)> = windows.into_iter().zip(counts).collect();
+        classes.sort_by_key(|&(w, _)| w);
+        let mut merged_windows = Vec::with_capacity(classes.len());
+        let mut merged_counts: Vec<usize> = Vec::with_capacity(classes.len());
+        for (w, c) in classes {
+            if merged_windows.last() == Some(&w) {
+                let last = merged_counts.len() - 1;
+                merged_counts[last] += c;
+            } else {
+                merged_windows.push(w);
+                merged_counts.push(c);
+            }
+        }
+        Ok(ClassProfile { windows: merged_windows, counts: merged_counts })
+    }
+
+    /// Collapses a node-level profile (any order) into its class form,
+    /// returning the profile together with the node → class assignment
+    /// (`assignment[i]` is the class index of node `i`) used to expand
+    /// class-level solutions back onto the original player order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcfError::InvalidParameter`] for an empty profile or a
+    /// zero window.
+    pub fn from_windows(windows: &[u32]) -> Result<(Self, Vec<usize>), DcfError> {
+        if windows.is_empty() {
+            return Err(DcfError::invalid("windows", "need at least one node"));
+        }
+        if windows.contains(&0) {
+            return Err(DcfError::invalid("windows", "contention windows must be at least 1"));
+        }
+        if windows.windows(2).all(|pair| pair[0] <= pair[1]) {
+            // Sorted input: run-length encode in one pass.
+            let profile = Self::from_sorted(windows)?;
+            let mut assignment = Vec::with_capacity(windows.len());
+            let mut class = 0usize;
+            for (i, &w) in windows.iter().enumerate() {
+                if i > 0 && w != windows[i - 1] {
+                    class += 1;
+                }
+                assignment.push(class);
+            }
+            return Ok((profile, assignment));
+        }
+        let mut distinct = windows.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut counts = vec![0usize; distinct.len()];
+        let mut assignment = Vec::with_capacity(windows.len());
+        for &w in windows {
+            let class = distinct
+                .binary_search(&w)
+                .expect("every window is present in the distinct set built above"); // PANIC-POLICY: unreachable by construction (programmer-error guard)
+            counts[class] += 1;
+            assignment.push(class);
+        }
+        Ok((ClassProfile { windows: distinct, counts }, assignment))
+    }
+
+    /// Collapses an already-sorted node-level profile without computing an
+    /// assignment — the fast path for canonical cache lookups (expansion
+    /// in class order *is* node order for sorted input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcfError::InvalidParameter`] for an empty profile, a zero
+    /// window, or an unsorted input.
+    pub fn from_sorted(windows: &[u32]) -> Result<Self, DcfError> {
+        if windows.is_empty() {
+            return Err(DcfError::invalid("windows", "need at least one node"));
+        }
+        if windows.contains(&0) {
+            return Err(DcfError::invalid("windows", "contention windows must be at least 1"));
+        }
+        if windows.windows(2).any(|pair| pair[0] > pair[1]) {
+            return Err(DcfError::invalid("windows", "profile must be sorted ascending"));
+        }
+        let mut distinct = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        for &w in windows {
+            if distinct.last() == Some(&w) {
+                let last = counts.len() - 1;
+                counts[last] += 1;
+            } else {
+                distinct.push(w);
+                counts.push(1);
+            }
+        }
+        Ok(ClassProfile { windows: distinct, counts })
+    }
+
+    /// Number of classes `k`.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Total number of nodes `n = Σ_c n_c`.
+    #[must_use]
+    pub fn total_nodes(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// The distinct windows, strictly increasing.
+    #[must_use]
+    pub fn windows(&self) -> &[u32] {
+        &self.windows
+    }
+
+    /// Per-class multiplicities, aligned with [`Self::windows`].
+    #[must_use]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Whether every node shares one window (`k == 1`).
+    #[must_use]
+    pub fn is_homogeneous(&self) -> bool {
+        self.windows.len() == 1
+    }
+
+    /// Expands back to the sorted node-level profile (class order, each
+    /// window repeated by its multiplicity). Allocates O(n) — intended for
+    /// small `n` interop, not for synthetic populations.
+    #[must_use]
+    pub fn expand_windows(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.total_nodes());
+        for (&w, &c) in self.windows.iter().zip(&self.counts) {
+            out.extend(std::iter::repeat(w).take(c));
+        }
+        out
+    }
+}
+
+/// Solution of the coupled system in class form: one `(τ_c, p_c)` pair per
+/// class of a [`ClassProfile`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassEquilibrium {
+    /// Per-class transmission probabilities, aligned with
+    /// [`ClassProfile::windows`].
+    pub taus: Vec<f64>,
+    /// Per-class conditional collision probabilities.
+    pub collision_probs: Vec<f64>,
+    /// Sweeps used by the iterative solver (always at least 1).
+    pub iterations: usize,
+}
+
+impl ClassEquilibrium {
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.taus.len()
+    }
+
+    /// Expands onto the original player order through a node → class
+    /// assignment (as returned by [`ClassProfile::from_windows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment entry is not a valid class index
+    /// (programmer error: assignments come from `from_windows`).
+    #[must_use]
+    pub fn expand(&self, assignment: &[usize]) -> Equilibrium {
+        let taus = assignment.iter().map(|&c| self.taus[c]).collect();
+        let collision_probs = assignment.iter().map(|&c| self.collision_probs[c]).collect();
+        Equilibrium { taus, collision_probs, iterations: self.iterations }
+    }
+
+    /// Expands in class order (each class repeated by its multiplicity) —
+    /// the node order of the *sorted* profile.
+    #[must_use]
+    pub fn expand_sorted(&self, profile: &ClassProfile) -> Equilibrium {
+        let n = profile.total_nodes();
+        let mut taus = Vec::with_capacity(n);
+        let mut collision_probs = Vec::with_capacity(n);
+        for (c, &count) in profile.counts().iter().enumerate() {
+            taus.extend(std::iter::repeat(self.taus[c]).take(count));
+            collision_probs.extend(std::iter::repeat(self.collision_probs[c]).take(count));
+        }
+        Equilibrium { taus, collision_probs, iterations: self.iterations }
+    }
+
+    /// Max residual of Eqs. (2)–(3) at the class-level solution — the O(k)
+    /// counterpart of [`Equilibrium::residual`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcfError::InvalidParameter`] if `profile` disagrees in
+    /// class count with the solution.
+    pub fn residual(&self, profile: &ClassProfile, params: &DcfParams) -> Result<f64, DcfError> {
+        if profile.num_classes() != self.taus.len() {
+            return Err(DcfError::invalid("profile", "class count must match solution"));
+        }
+        let m = params.max_backoff_stage();
+        let total_log: f64 = self
+            .taus
+            .iter()
+            .zip(profile.counts())
+            .map(|(&t, &c)| (c as f64) * (1.0 - t).max(f64::MIN_POSITIVE).ln())
+            .sum();
+        let mut worst = 0.0f64;
+        for ((&w, &tau), &p_stored) in
+            profile.windows().iter().zip(&self.taus).zip(&self.collision_probs)
+        {
+            let others = (total_log - (1.0 - tau).max(f64::MIN_POSITIVE).ln()).exp();
+            let p_c = (1.0 - others).clamp(0.0, 1.0);
+            let tau_c = transmission_probability(w, p_c, m)?;
+            worst = worst.max((p_c - p_stored).abs());
+            worst = worst.max((tau_c - tau).abs());
+        }
+        Ok(worst)
+    }
+}
+
+/// Per-scan memo of [`solve_symmetric`] bisection roots, keyed by
+/// `(n, W)` and bound to one [`DcfParams`]. Homogeneous cold starts in the
+/// class solver re-derive the same roots over and over inside a scan
+/// (every crowd window of `scan_ne_interval`, every post-punishment stage
+/// of a deviation sweep); sharing one memo across the scan runs each
+/// bisection at most once. A memo hit returns exactly what
+/// [`solve_symmetric`] would, so results are bitwise-identical with and
+/// without the memo — only the cost changes. Hits are counted on the
+/// `dcf.solver.symmetric_seed_hits` telemetry counter.
+///
+/// Thread-safe: share by reference across workers (`&self` methods only).
+#[derive(Debug)]
+pub struct SymmetricMemo {
+    params: DcfParams,
+    map: RwLock<BTreeMap<(usize, u32), SymmetricPoint>>,
+}
+
+impl SymmetricMemo {
+    /// Creates an empty memo bound to `params`.
+    #[must_use]
+    pub fn new(params: DcfParams) -> Self {
+        SymmetricMemo { params, map: RwLock::new(BTreeMap::new()) }
+    }
+
+    /// The DCF parameters every memoized root was computed under.
+    #[must_use]
+    pub fn params(&self) -> &DcfParams {
+        &self.params
+    }
+
+    /// [`solve_symmetric`] through the memo: bisection on a miss, a stored
+    /// root (bitwise-identical) on a hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`solve_symmetric`] errors (`n == 0` or `w == 0`).
+    pub fn solve(&self, n: usize, w: u32) -> Result<SymmetricPoint, DcfError> {
+        if let Some(hit) = self.map.read().expect("memo lock poisoned").get(&(n, w)) { // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
+            telemetry::counter("dcf.solver.symmetric_seed_hits", 1);
+            return Ok(*hit);
+        }
+        // Bisect outside the write lock: concurrent misses on the same key
+        // may duplicate work but compute the identical root, so whichever
+        // insert lands first the stored value is the same.
+        let point = solve_symmetric(n, w, &self.params)?;
+        self.map.write().expect("memo lock poisoned").entry((n, w)).or_insert(point); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
+        Ok(point)
+    }
+
+    /// Number of distinct `(n, W)` roots stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.read().expect("memo lock poisoned").len() // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
+    }
+
+    /// Whether the memo is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// [`crate::throughput::slot_stats`] computed from class data in O(k):
+/// `Π_i (1−τ_i)` becomes `exp(Σ_c n_c·ln(1−τ_c))` and the single-success
+/// probability weights each class's contribution by its multiplicity.
+/// Agrees with the node-level computation to floating-point rounding.
+///
+/// # Panics
+///
+/// Panics if `taus` does not have one entry per class or contains values
+/// outside `[0, 1]` (the profile comes from our own solvers, so this is a
+/// programming error, not a recoverable condition).
+#[must_use]
+pub fn class_slot_stats(profile: &ClassProfile, taus: &[f64], params: &DcfParams) -> SlotStats {
+    assert_eq!(taus.len(), profile.num_classes(), "need one τ per class"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+    assert!( // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+        taus.iter().all(|t| (0.0..=1.0).contains(t)),
+        "transmission probabilities must be in [0, 1]"
+    );
+    let total_log: f64 = taus
+        .iter()
+        .zip(profile.counts())
+        .map(|(&t, &c)| (c as f64) * (1.0 - t).max(f64::MIN_POSITIVE).ln())
+        .sum();
+    let all_idle = total_log.exp();
+    let p_transmit = 1.0 - all_idle;
+    let single: f64 = taus
+        .iter()
+        .zip(profile.counts())
+        .map(|(&t, &c)| {
+            let others = (total_log - (1.0 - t).max(f64::MIN_POSITIVE).ln()).exp();
+            (c as f64) * t * others
+        })
+        .sum();
+    let p_success = if p_transmit > 0.0 { (single / p_transmit).clamp(0.0, 1.0) } else { 0.0 };
+    let t = params.timings();
+    let mean_slot = (1.0 - p_transmit) * params.sigma()
+        + p_transmit * p_success * t.success_time
+        + p_transmit * (1.0 - p_success) * t.collision_time;
+    SlotStats { p_transmit, p_success, mean_slot }
+}
+
+/// Per-class utilities `u_c = τ_c·((1−p_c)·g − e)/T_slot` — the O(k)
+/// counterpart of [`crate::utility::all_utilities`] (every node of a class
+/// earns its class's utility).
+///
+/// # Panics
+///
+/// Same conditions as [`class_slot_stats`], plus `collision_probs` must
+/// have one entry per class in `[0, 1]`.
+#[must_use]
+pub fn class_utilities(
+    profile: &ClassProfile,
+    taus: &[f64],
+    collision_probs: &[f64],
+    params: &DcfParams,
+    utility: &UtilityParams,
+) -> Vec<f64> {
+    assert_eq!(collision_probs.len(), profile.num_classes(), "need one p per class"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+    assert!( // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+        collision_probs.iter().all(|p| (0.0..=1.0).contains(p)),
+        "collision probabilities must be in [0, 1]"
+    );
+    let stats = class_slot_stats(profile, taus, params);
+    taus.iter()
+        .zip(collision_probs)
+        .map(|(&t, &p)| t * ((1.0 - p) * utility.gain - utility.cost) / stats.mean_slot.value())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::slot_stats;
+    use crate::utility::all_utilities;
+
+    #[test]
+    fn from_windows_collapses_and_assigns() {
+        let (profile, assignment) = ClassProfile::from_windows(&[64, 16, 64, 16, 128]).unwrap();
+        assert_eq!(profile.windows(), &[16, 64, 128]);
+        assert_eq!(profile.counts(), &[2, 2, 1]);
+        assert_eq!(assignment, vec![1, 0, 1, 0, 2]);
+        assert_eq!(profile.total_nodes(), 5);
+        assert_eq!(profile.num_classes(), 3);
+        assert!(!profile.is_homogeneous());
+    }
+
+    #[test]
+    fn sorted_input_takes_the_rle_fast_path() {
+        let (profile, assignment) = ClassProfile::from_windows(&[8, 8, 32, 32, 32]).unwrap();
+        assert_eq!(profile, ClassProfile::from_sorted(&[8, 8, 32, 32, 32]).unwrap());
+        assert_eq!(assignment, vec![0, 0, 1, 1, 1]);
+        assert_eq!(profile.expand_windows(), vec![8, 8, 32, 32, 32]);
+    }
+
+    #[test]
+    fn new_sorts_and_merges_duplicate_classes() {
+        let profile = ClassProfile::new(vec![64, 16, 64], vec![3, 2, 4]).unwrap();
+        assert_eq!(profile.windows(), &[16, 64]);
+        assert_eq!(profile.counts(), &[2, 7]);
+        assert_eq!(profile.total_nodes(), 9);
+    }
+
+    #[test]
+    fn permutations_collapse_to_the_same_profile() {
+        let (a, _) = ClassProfile::from_windows(&[16, 64, 256, 64]).unwrap();
+        let (b, _) = ClassProfile::from_windows(&[256, 64, 16, 64]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(ClassProfile::from_windows(&[]).is_err());
+        assert!(ClassProfile::from_windows(&[0, 4]).is_err());
+        assert!(ClassProfile::from_sorted(&[4, 2]).is_err());
+        assert!(ClassProfile::new(vec![4], vec![]).is_err());
+        assert!(ClassProfile::new(vec![4], vec![0]).is_err());
+        assert!(ClassProfile::new(vec![0], vec![1]).is_err());
+        assert!(ClassProfile::new(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn expansion_routes_class_values_to_nodes() {
+        let (profile, assignment) = ClassProfile::from_windows(&[64, 16, 64]).unwrap();
+        let ceq = ClassEquilibrium {
+            taus: vec![0.5, 0.25],
+            collision_probs: vec![0.1, 0.2],
+            iterations: 3,
+        };
+        let eq = ceq.expand(&assignment);
+        assert_eq!(eq.taus, vec![0.25, 0.5, 0.25]);
+        assert_eq!(eq.collision_probs, vec![0.2, 0.1, 0.2]);
+        assert_eq!(eq.iterations, 3);
+        let sorted = ceq.expand_sorted(&profile);
+        assert_eq!(sorted.taus, vec![0.5, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn symmetric_memo_hits_are_bitwise_identical() {
+        let params = DcfParams::default();
+        let memo = SymmetricMemo::new(params);
+        let fresh = memo.solve(5, 76).unwrap();
+        let direct = solve_symmetric(5, 76, &params).unwrap();
+        assert_eq!(fresh, direct);
+        let hit = memo.solve(5, 76).unwrap();
+        assert_eq!(hit, fresh);
+        assert_eq!(memo.len(), 1);
+        memo.solve(5, 77).unwrap();
+        assert_eq!(memo.len(), 2);
+        assert!(memo.solve(0, 4).is_err());
+    }
+
+    #[test]
+    fn class_slot_stats_match_node_level() {
+        let params = DcfParams::default();
+        let windows = [16u32, 16, 64, 64, 64, 256];
+        let (profile, assignment) = ClassProfile::from_windows(&windows).unwrap();
+        let class_taus = vec![0.11, 0.034, 0.0085];
+        let node_taus: Vec<f64> = assignment.iter().map(|&c| class_taus[c]).collect();
+        let class_stats = class_slot_stats(&profile, &class_taus, &params);
+        let node_stats = slot_stats(&node_taus, &params);
+        assert!((class_stats.p_transmit - node_stats.p_transmit).abs() < 1e-14);
+        assert!((class_stats.p_success - node_stats.p_success).abs() < 1e-14);
+        assert!(
+            (class_stats.mean_slot.value() - node_stats.mean_slot.value()).abs()
+                < 1e-10 * node_stats.mean_slot.value()
+        );
+    }
+
+    #[test]
+    fn class_utilities_match_node_level() {
+        let params = DcfParams::default();
+        let utility = UtilityParams::default();
+        let windows = [16u32, 16, 64, 256, 256];
+        let (profile, assignment) = ClassProfile::from_windows(&windows).unwrap();
+        let class_taus = vec![0.11, 0.034, 0.0085];
+        let class_ps = vec![0.06, 0.13, 0.15];
+        let node_taus: Vec<f64> = assignment.iter().map(|&c| class_taus[c]).collect();
+        let node_ps: Vec<f64> = assignment.iter().map(|&c| class_ps[c]).collect();
+        let per_class = class_utilities(&profile, &class_taus, &class_ps, &params, &utility);
+        let per_node = all_utilities(&node_taus, &node_ps, &params, &utility);
+        for (i, &c) in assignment.iter().enumerate() {
+            assert!(
+                (per_class[c] - per_node[i]).abs() < 1e-12 * per_node[i].abs().max(1.0),
+                "node {i} class {c}: {} vs {}",
+                per_class[c],
+                per_node[i]
+            );
+        }
+    }
+}

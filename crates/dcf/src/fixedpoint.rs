@@ -13,10 +13,21 @@
 //! on the same `W`), where the scalar map is monotone and bisection gives a
 //! guaranteed, fast solution — this is the path the equilibrium machinery
 //! hammers.
+//!
+//! Since every `τ_i` depends only on node `i`'s window (nodes sharing a
+//! window are exchangeable), [`solve`] internally collapses the profile to
+//! its [`ClassProfile`] — `k` distinct windows with multiplicities — and
+//! iterates `k` class-level pairs via [`solve_classes`], expanding back to
+//! a node-level [`Equilibrium`] at the end. The collapse is exact (the
+//! class-constant subspace is invariant under the sweep map and contains
+//! the fixed point), and makes the per-sweep cost O(k) instead of O(n).
+//! [`solve_dense`] keeps the original 2n-dimensional iteration as a
+//! reference/ablation baseline.
 
 use macgame_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
+use crate::classes::{ClassEquilibrium, ClassProfile, SymmetricMemo};
 use crate::error::{DcfError, SolveAttempt, SolveRung};
 use crate::markov::transmission_probability;
 use crate::params::DcfParams;
@@ -150,7 +161,9 @@ pub fn solve(
 /// re-solve of the same profile — converges in one or two sweeps.
 ///
 /// The guess must have one entry per node; entries are clamped into
-/// `[0, 1]`. The converged solution does not depend on the guess (the
+/// `[0, 1]`. Because the iteration runs in class space, nodes sharing a
+/// window are seeded from the guess entry of the first such node in
+/// player order. The converged solution does not depend on the guess (the
 /// damped map contracts to the same fixed point), only the iteration
 /// count does — `iterations` always reports the true number of sweeps
 /// (at least 1), including on homogeneous profiles.
@@ -167,35 +180,192 @@ pub fn solve_with_guess(
     options: SolveOptions,
     guess: Option<&[f64]>,
 ) -> Result<Equilibrium, DcfError> {
+    solve_seeded(windows, params, options, guess, None)
+}
+
+/// Like [`solve_with_guess`], with an optional [`SymmetricMemo`] consulted
+/// for the bisection root that seeds homogeneous cold starts — scans that
+/// revisit the same `(n, W)` field many times share one memo so each root
+/// bisects at most once. The memo must have been built with the same
+/// `params` (a mismatched memo is ignored, not trusted); since a memo hit
+/// returns exactly the [`solve_symmetric`] root, results are
+/// bitwise-identical with and without a memo.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_with_guess`].
+pub fn solve_seeded(
+    windows: &[u32],
+    params: &DcfParams,
+    options: SolveOptions,
+    guess: Option<&[f64]>,
+    roots: Option<&SymmetricMemo>,
+) -> Result<Equilibrium, DcfError> {
     validate_windows(windows)?;
+    let n = windows.len();
+    if let Some(seed) = guess {
+        if seed.len() != n {
+            return Err(DcfError::invalid("guess", "length must match windows"));
+        }
+        if seed.iter().any(|t| !t.is_finite()) {
+            return Err(DcfError::invalid("guess", "entries must be finite"));
+        }
+    }
+    let (profile, assignment) = ClassProfile::from_windows(windows)?;
+    let k = profile.num_classes();
+    telemetry::counter("dcf.solver.class_collapsed", (n - k) as u64);
+    // One guess entry per class: the first node of each class (in player
+    // order) seeds it. Duplicated entries for the same window can only
+    // disagree transiently, so this changes iteration counts at most.
+    let class_guess: Option<Vec<f64>> = guess.map(|seed| {
+        let mut cg = vec![f64::NAN; k];
+        for (&c, &t) in assignment.iter().zip(seed) {
+            if cg[c].is_nan() {
+                cg[c] = t;
+            }
+        }
+        cg
+    });
+    let ceq = solve_classes_seeded(&profile, params, options, class_guess.as_deref(), roots)?;
+    Ok(ceq.expand(&assignment))
+}
+
+/// Solves the coupled system for a [`ClassProfile`], iterating one
+/// `(τ_c, p_c)` pair per class. The per-sweep cost is O(k) regardless of
+/// the population size, which is what makes `n = 10^6` populations with a
+/// handful of distinct windows as cheap as the paper's `n = 10` tables.
+///
+/// # Errors
+///
+/// * [`DcfError::InvalidParameter`] for invalid damping;
+/// * [`DcfError::SolveDidNotConverge`] if the sweep residual stays above
+///   `options.tolerance`.
+pub fn solve_classes(
+    profile: &ClassProfile,
+    params: &DcfParams,
+    options: SolveOptions,
+) -> Result<ClassEquilibrium, DcfError> {
+    solve_classes_seeded(profile, params, options, None, None)
+}
+
+/// Like [`solve_classes`], seeded with one `τ` guess entry per class
+/// (clamped into `[0, 1]`) — typically the solution of a neighboring
+/// profile with the same class structure.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_classes`], plus a guess of the wrong length
+/// or with non-finite entries.
+pub fn solve_classes_with_guess(
+    profile: &ClassProfile,
+    params: &DcfParams,
+    options: SolveOptions,
+    guess: Option<&[f64]>,
+) -> Result<ClassEquilibrium, DcfError> {
+    solve_classes_seeded(profile, params, options, guess, None)
+}
+
+/// The full-control class solver: optional per-class guess, optional
+/// [`SymmetricMemo`] for the homogeneous cold-start root. All node-level
+/// entry points funnel through here.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_classes_with_guess`].
+pub fn solve_classes_seeded(
+    profile: &ClassProfile,
+    params: &DcfParams,
+    options: SolveOptions,
+    guess: Option<&[f64]>,
+    roots: Option<&SymmetricMemo>,
+) -> Result<ClassEquilibrium, DcfError> {
     if !(0.0..=1.0).contains(&options.damping) || options.damping == 0.0 {
         return Err(DcfError::invalid("damping", "must be in (0, 1]"));
     }
-    let m = params.max_backoff_stage();
-    let n = windows.len();
-    let mut taus: Vec<f64> = match guess {
+    let k = profile.num_classes();
+    let taus: Vec<f64> = match guess {
         Some(seed) => {
-            if seed.len() != n {
-                return Err(DcfError::invalid("guess", "length must match windows"));
+            if seed.len() != k {
+                return Err(DcfError::invalid("guess", "need one entry per class"));
             }
             if seed.iter().any(|t| !t.is_finite()) {
                 return Err(DcfError::invalid("guess", "entries must be finite"));
             }
             seed.iter().map(|t| t.clamp(0.0, 1.0)).collect()
         }
-        None if windows.iter().all(|&w| w == windows[0]) => {
+        None if profile.is_homogeneous() => {
             // Homogeneous: the bisection root is the fixed point; seeding
             // from it lets the damped iteration confirm convergence in a
             // single sweep while keeping `iterations` an honest count.
-            let sym = solve_symmetric(n, windows[0], params)?;
-            vec![sym.tau; n]
+            let n = profile.total_nodes();
+            let w = profile.windows()[0];
+            let sym = match roots {
+                Some(memo) if memo.params() == params => memo.solve(n, w)?,
+                _ => solve_symmetric(n, w, params)?,
+            };
+            vec![sym.tau]
         }
-        None => windows.iter().map(|&w| 2.0 / (f64::from(w) + 1.0)).collect(),
+        None => profile.windows().iter().map(|&w| 2.0 / (f64::from(w) + 1.0)).collect(),
     };
     telemetry::counter("dcf.solver.solves", 1);
     if guess.is_some() {
         telemetry::counter("dcf.solver.warm_starts", 1);
     }
+    telemetry::histogram("dcf.solver.classes", k as f64);
+    let (taus, collision_probs, iterations) =
+        iterate_fixed_point(profile.windows(), profile.counts(), params, options, taus)?;
+    Ok(ClassEquilibrium { taus, collision_probs, iterations })
+}
+
+/// The original 2n-dimensional node-level iteration, kept as the
+/// reference/ablation baseline the class solver is validated against
+/// (property tests, the gated conformance agreement claim, and the
+/// n-scaling bench). Production callers should use [`solve`], which runs
+/// the same two-phase sweep in class space.
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+pub fn solve_dense(
+    windows: &[u32],
+    params: &DcfParams,
+    options: SolveOptions,
+) -> Result<Equilibrium, DcfError> {
+    validate_windows(windows)?;
+    if !(0.0..=1.0).contains(&options.damping) || options.damping == 0.0 {
+        return Err(DcfError::invalid("damping", "must be in (0, 1]"));
+    }
+    let n = windows.len();
+    let taus: Vec<f64> = if windows.iter().all(|&w| w == windows[0]) {
+        let sym = solve_symmetric(n, windows[0], params)?;
+        vec![sym.tau; n]
+    } else {
+        windows.iter().map(|&w| 2.0 / (f64::from(w) + 1.0)).collect()
+    };
+    let counts = vec![1usize; n];
+    let (taus, collision_probs, iterations) =
+        iterate_fixed_point(windows, &counts, params, options, taus)?;
+    Ok(Equilibrium { taus, collision_probs, iterations })
+}
+
+/// The two-phase damped/Anderson sweep shared by the class solver and the
+/// dense reference. `counts[c]` is the multiplicity of `windows[c]`: the
+/// collision coupling weights each log term by it, and the Anderson secant
+/// weights each class's contribution so the extrapolation matches what the
+/// expanded node-level iteration would compute. The dense path passes
+/// all-ones counts, for which every weight multiplies by exactly `1.0` —
+/// bitwise-identical to the unweighted sweep.
+///
+/// Returns `(taus, collision_probs, iterations)` on convergence.
+fn iterate_fixed_point(
+    windows: &[u32],
+    counts: &[usize],
+    params: &DcfParams,
+    options: SolveOptions,
+    mut taus: Vec<f64>,
+) -> Result<(Vec<f64>, Vec<f64>, usize), DcfError> {
+    let m = params.max_backoff_stage();
+    let n = windows.len();
     let mut damped_sweeps: u64 = 0;
     let mut accel_sweeps: u64 = 0;
     let mut residual = f64::INFINITY;
@@ -218,8 +388,13 @@ pub fn solve_with_guess(
     for iter in 0..options.max_iterations {
         residual = 0.0;
         let mut raw = 0.0f64;
-        // log(1−τ) accumulation keeps the n-way product O(n) per sweep.
-        let total_log: f64 = taus.iter().map(|&t| (1.0 - t).max(f64::MIN_POSITIVE).ln()).sum();
+        // Multiplicity-weighted log(1−τ) accumulation: the n-way product
+        // Π_j (1−τ_j)^{n_j} costs one log per *class*.
+        let total_log: f64 = taus
+            .iter()
+            .zip(counts)
+            .map(|(&t, &c)| (c as f64) * (1.0 - t).max(f64::MIN_POSITIVE).ln())
+            .sum();
         let mut sweep = Vec::with_capacity(n);
         for (&w, &tau) in windows.iter().zip(&taus) {
             let others = (total_log - (1.0 - tau).max(f64::MIN_POSITIVE).ln()).exp();
@@ -251,10 +426,11 @@ pub fn solve_with_guess(
                     let mut num = 0.0f64;
                     let mut den = 0.0f64;
                     for i in 0..n {
+                        let wc = counts[i] as f64;
                         let f = sweep[i] - taus[i];
                         let df = f - (prev_g[i] - prev_x[i]);
-                        num += f * df;
-                        den += df * df;
+                        num += wc * f * df;
+                        den += wc * df * df;
                     }
                     let beta = if den > 0.0 { num / den } else { 0.0 };
                     if beta.is_finite() && beta.abs() <= 5.0 {
@@ -297,8 +473,11 @@ pub fn solve_with_guess(
             telemetry::counter("dcf.solver.sweeps.accelerated", accel_sweeps);
             telemetry::histogram("dcf.solver.iterations", (iter + 1) as f64);
             telemetry::histogram("dcf.solver.residual", raw.min(residual));
-            let total_log: f64 =
-                taus.iter().map(|&t| (1.0 - t).max(f64::MIN_POSITIVE).ln()).sum();
+            let total_log: f64 = taus
+                .iter()
+                .zip(counts)
+                .map(|(&t, &c)| (c as f64) * (1.0 - t).max(f64::MIN_POSITIVE).ln())
+                .sum();
             let collision_probs = taus
                 .iter()
                 .map(|&t| {
@@ -306,7 +485,8 @@ pub fn solve_with_guess(
                     (1.0 - others).clamp(0.0, 1.0)
                 })
                 .collect();
-            return Ok(Equilibrium { taus, collision_probs, iterations: iter + 1 });
+            let iterations = iter + 1;
+            return Ok((taus, collision_probs, iterations));
         }
     }
     telemetry::counter("dcf.solver.failures", 1);
@@ -779,6 +959,65 @@ mod tests {
         let p = params();
         let err = solve_robust(&[0, 4], &p, SolveOptions::default()).unwrap_err();
         assert!(matches!(err, DcfError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn class_solver_agrees_with_dense_reference() {
+        let p = params();
+        let options = SolveOptions::default();
+        for windows in [
+            vec![32u32; 5],
+            vec![8, 16, 32, 64, 128],
+            vec![76, 76, 1, 76, 512],
+            vec![1, 1024, 1, 512],
+        ] {
+            let class = solve(&windows, &p, options).unwrap();
+            let dense = solve_dense(&windows, &p, options).unwrap();
+            for i in 0..windows.len() {
+                assert!(
+                    (class.taus[i] - dense.taus[i]).abs() < 1e-12,
+                    "windows {windows:?} node {i}: τ {} vs {}",
+                    class.taus[i],
+                    dense.taus[i]
+                );
+                assert!(
+                    (class.collision_probs[i] - dense.collision_probs[i]).abs() < 1e-12,
+                    "windows {windows:?} node {i}: p {} vs {}",
+                    class.collision_probs[i],
+                    dense.collision_probs[i]
+                );
+            }
+            assert!(class.residual(&windows, &p).unwrap() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_is_class_collapse_expand_bitwise() {
+        // The public node-level path *is* collapse → class solve → expand,
+        // so doing those steps by hand must reproduce it exactly.
+        let p = params();
+        let options = SolveOptions::default();
+        for windows in [vec![32u32; 5], vec![16, 48, 96, 192], vec![64, 16, 64, 8]] {
+            let eq = solve(&windows, &p, options).unwrap();
+            let (profile, assignment) = ClassProfile::from_windows(&windows).unwrap();
+            let ceq = solve_classes(&profile, &p, options).unwrap();
+            assert_eq!(ceq.expand(&assignment), eq, "windows {windows:?}");
+        }
+    }
+
+    #[test]
+    fn symmetric_memo_never_changes_results() {
+        let p = params();
+        let options = SolveOptions::default();
+        let memo = SymmetricMemo::new(p);
+        for _ in 0..2 {
+            // Cold miss on the first pass, memo hit on the second: both
+            // bitwise-identical to the memo-free solve.
+            let seeded = solve_seeded(&[76; 5], &p, options, None, Some(&memo)).unwrap();
+            let plain = solve(&[76; 5], &p, options).unwrap();
+            assert_eq!(seeded, plain);
+        }
+        assert_eq!(memo.len(), 1);
     }
 
     #[test]

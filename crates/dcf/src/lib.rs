@@ -17,8 +17,14 @@
 //!   a fallback ladder ([`solve_robust`]) that degrades from the
 //!   accelerated solver through a damped retry to a guaranteed bisection
 //!   safe mode before ever reporting non-convergence;
+//! * [`classes`] — class-based aggregation: a profile with `k` distinct
+//!   windows collapses to a [`ClassProfile`] and the solver iterates `k`
+//!   class-level `(τ_c, p_c)` pairs instead of `2n` node-level ones
+//!   (exactly — nodes sharing a window are exchangeable), making the
+//!   per-sweep cost independent of the population size;
 //! * [`cache`] — thread-safe, permutation-canonicalizing memoization of
-//!   fixed-point solutions (a hit is bitwise-identical to a fresh solve);
+//!   fixed-point solutions keyed by canonical class profiles (a hit is
+//!   bitwise-identical to a fresh solve);
 //! * [`parallel`] — warm-chained, chunk-parallel profile sweeps and the
 //!   workspace-wide `threads` knob (`0` = auto via `MACGAME_THREADS`);
 //! * [`throughput`] — slot statistics and normalized saturation throughput;
@@ -54,6 +60,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod classes;
 pub mod delay;
 pub mod error;
 pub mod fairness;
@@ -69,12 +76,18 @@ pub mod units;
 pub mod utility;
 
 pub use cache::SolveCache;
+pub use classes::{
+    class_slot_stats, class_utilities, ClassEquilibrium, ClassProfile, SymmetricMemo,
+};
 pub use error::{DcfError, SolveAttempt, SolveRung};
 pub use fixedpoint::{
-    solve, solve_robust, solve_symmetric, solve_with_guess, Equilibrium, RobustSolve,
+    solve, solve_classes, solve_classes_seeded, solve_classes_with_guess, solve_dense,
+    solve_robust, solve_seeded, solve_symmetric, solve_with_guess, Equilibrium, RobustSolve,
     SolveOptions, SymmetricPoint,
 };
-pub use parallel::{resolve_threads, solve_sweep, solve_sweep_cached};
+pub use parallel::{
+    resolve_threads, solve_class_sweep, solve_sweep, solve_sweep_cached, solve_sweep_seeded,
+};
 pub use optimal::{efficient_cw, ne_interval, optimal_tau, EfficientNe, NeInterval};
 pub use params::{AccessMode, DcfParams, DcfParamsBuilder, FrameParams, FrameTimings, PhyParams};
 pub use record::SolutionRecord;

@@ -201,6 +201,63 @@ proptest! {
     }
 
     #[test]
+    fn class_collapse_expand_is_a_permutation_stable_identity(
+        picks in prop::collection::vec(0usize..5, 1..=64),
+        rotation in 0usize..64,
+    ) {
+        use macgame_dcf::ClassProfile;
+        // Drawing from a 5-window palette bounds the class count at k ≤ 5.
+        const PALETTE: [u32; 5] = [8, 16, 64, 128, 300];
+        let windows: Vec<u32> = picks.iter().map(|&i| PALETTE[i]).collect();
+        // Collapse → expand must reproduce every node's window exactly, and
+        // any permutation of the same multiset must collapse to the *same*
+        // canonical class profile (multiplicity merge subsumes sorting).
+        let (profile, assignment) = ClassProfile::from_windows(&windows).unwrap();
+        prop_assert!(profile.num_classes() <= 5);
+        prop_assert_eq!(profile.total_nodes(), windows.len());
+        prop_assert_eq!(assignment.len(), windows.len());
+        for (i, &class) in assignment.iter().enumerate() {
+            prop_assert_eq!(profile.windows()[class], windows[i]);
+        }
+        prop_assert!(profile.windows().windows(2).all(|pair| pair[0] < pair[1]));
+        prop_assert_eq!(profile.expand_windows().len(), windows.len());
+
+        let k = rotation % windows.len();
+        let rotated: Vec<u32> =
+            windows.iter().skip(k).chain(windows.iter().take(k)).copied().collect();
+        let (rotated_profile, _) = ClassProfile::from_windows(&rotated).unwrap();
+        prop_assert_eq!(&rotated_profile, &profile, "canonical profile must be permutation-stable");
+    }
+
+    #[test]
+    fn class_solver_matches_dense_solver_to_1e12(
+        picks in prop::collection::vec(0usize..5, 2..=64),
+        mode in any_mode(),
+    ) {
+        use macgame_dcf::fixedpoint::solve_dense;
+        const PALETTE: [u32; 5] = [4, 32, 76, 150, 512];
+        let windows: Vec<u32> = picks.iter().map(|&i| PALETTE[i]).collect();
+        // The class-aggregated path (the public `solve`) and the dense
+        // node-level reference iteration must agree on every node's τ and p
+        // to 1e-12 for profiles with n ≤ 64 and k ≤ 5 classes.
+        let p = params(mode);
+        let options = SolveOptions::default();
+        let class = solve(&windows, &p, options).unwrap();
+        let dense = solve_dense(&windows, &p, options).unwrap();
+        for i in 0..windows.len() {
+            prop_assert!(
+                (class.taus[i] - dense.taus[i]).abs() < 1e-12,
+                "node {i}: class τ {} vs dense τ {}", class.taus[i], dense.taus[i]
+            );
+            prop_assert!(
+                (class.collision_probs[i] - dense.collision_probs[i]).abs() < 1e-12,
+                "node {i}: class p {} vs dense p {}",
+                class.collision_probs[i], dense.collision_probs[i]
+            );
+        }
+    }
+
+    #[test]
     fn utilities_equal_for_symmetric_nodes(n in 2usize..30, w in 1u32..1500) {
         let p = params(AccessMode::Basic);
         let sym = solve_symmetric(n, w, &p).unwrap();

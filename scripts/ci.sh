@@ -27,6 +27,9 @@ MACGAME_THREADS=2 cargo run --release -p macgame-bench --bin repro -- robustness
 cmp artifacts/ROBUSTNESS.threads1.json artifacts/ROBUSTNESS.json
 rm artifacts/ROBUSTNESS.threads1.json
 
+echo "==> solver benchmark trajectory (repro -- bench-solver --quick)"
+cargo run --release -p macgame-bench --bin repro -- bench-solver --quick
+
 echo "==> workspace invariant lints (repro -- lint)"
 cargo run --release -p macgame-bench --bin repro -- lint
 
