@@ -34,6 +34,7 @@ const EXPERIMENTS: &[&str] = &[
     "validate",
     "myopia",
     "bench-solver",
+    "bench-serve",
     "conformance",
     "profile",
     "robustness",
@@ -80,6 +81,7 @@ fn main() {
             "validate" => validate(quick),
             "myopia" => myopia(),
             "bench-solver" => bench_solver(quick),
+            "bench-serve" => bench_serve(quick),
             "conformance" => conformance(quick),
             "profile" => profile(quick),
             "robustness" => robustness(quick),
@@ -785,6 +787,150 @@ fn bench_solver(quick: bool) -> Result<(), BenchError> {
     let payload = SolverBenchArtifact { ne_scan, scaling };
     let path = write_artifact("BENCH_solver", &payload)?;
     println!("artifact: {}", path.display());
+    Ok(())
+}
+
+/// Machine-readable serve benchmark: the NE-as-a-service engine driven
+/// through the full wire path (encode → frame → parse → evaluate →
+/// re-frame) by the in-process `ServeHarness`. Reports hot- and
+/// cold-cache batch throughput, single-query round-trip latency
+/// percentiles, and re-checks reply-byte thread invariance at 1/2/8
+/// workers. Emits `artifacts/BENCH_serve.json`.
+fn bench_serve(quick: bool) -> Result<(), BenchError> {
+    use macgame_core::queries::Query;
+    use macgame_serve::{EngineConfig, ServeHarness};
+    use std::time::Instant;
+
+    #[derive(serde::Serialize)]
+    struct ServeBench {
+        unique_queries: usize,
+        batch_size: usize,
+        hot_batches: usize,
+        cold_ms: f64,
+        cold_qps: f64,
+        hot_ms: f64,
+        hot_qps: f64,
+        latency_roundtrips: usize,
+        p50_us: f64,
+        p99_us: f64,
+        thread_invariant: bool,
+        reply_cache_hits: u64,
+        reply_cache_misses: u64,
+        solve_cache_hits: u64,
+        solve_cache_misses: u64,
+    }
+
+    // A pool of distinct deviation-pricing queries (the cache-heavy query
+    // type), repeated to batch size: every hot lookup is a reply-cache
+    // hit, every cold one a class solve.
+    let unique = if quick { 64usize } else { 256 };
+    let pool: Vec<Query> = (0..unique)
+        .map(|i| Query::DeviationPayoff {
+            players: 5,
+            mode: if i % 2 == 0 { AccessMode::Basic } else { AccessMode::RtsCts },
+            w_star: 79,
+            w_dev: 1 + (i as u32 % 64),
+            reaction_stages: 1 + (i as u32 / 64),
+            delta_s: 0.5,
+        })
+        .collect();
+    let batch_size = 4 * unique;
+    let batch: Vec<Query> = (0..batch_size).map(|i| pool[i % unique].clone()).collect();
+    let hot_batches = if quick { 25 } else { 100 };
+
+    let harness = ServeHarness::new()?;
+    println!(
+        "wire-path batches: {batch_size} queries/batch over {unique} unique deviation \
+         pricings, {hot_batches} hot batches"
+    );
+
+    // Cold pass: every unique query is a reply-cache miss and solves
+    // through the class solver.
+    let t0 = Instant::now();
+    let cold_bytes = harness.reply_bytes(&batch)?;
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cold_qps = batch_size as f64 / (cold_ms / 1e3);
+
+    // Hot passes: all hits; this is the throughput the service sustains
+    // on a steady query mix.
+    let t1 = Instant::now();
+    for _ in 0..hot_batches {
+        let bytes = harness.reply_bytes(&batch)?;
+        debug_assert_eq!(bytes, cold_bytes);
+    }
+    let hot_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let hot_qps = (hot_batches * batch_size) as f64 / (hot_ms / 1e3);
+
+    // Single-query round-trip latency on the hot cache.
+    let latency_roundtrips = if quick { 500 } else { 2000 };
+    let mut samples_us = Vec::with_capacity(latency_roundtrips);
+    for i in 0..latency_roundtrips {
+        let single = std::slice::from_ref(&pool[i % unique]);
+        let t = Instant::now();
+        let bytes = harness.reply_bytes(single)?;
+        samples_us.push(t.elapsed().as_secs_f64() * 1e6);
+        debug_assert!(!bytes.is_empty());
+    }
+    samples_us.sort_by(f64::total_cmp);
+    let percentile = |p: f64| samples_us[((samples_us.len() - 1) as f64 * p) as usize];
+    let p50_us = percentile(0.50);
+    let p99_us = percentile(0.99);
+
+    // Reply bytes must be identical under 1/2/8 workers (fresh engines,
+    // cold caches — the strongest form of the claim).
+    let mut streams = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let h = ServeHarness::with_config(EngineConfig { threads, ..EngineConfig::default() })?;
+        streams.push(h.reply_bytes(&batch)?);
+    }
+    let thread_invariant = streams.iter().all(|s| s == &streams[0]) && streams[0] == cold_bytes;
+
+    let (solve_hits, solve_misses, _) = harness.engine().solve_caches().counters();
+    let payload = ServeBench {
+        unique_queries: unique,
+        batch_size,
+        hot_batches,
+        cold_ms,
+        cold_qps,
+        hot_ms,
+        hot_qps,
+        latency_roundtrips,
+        p50_us,
+        p99_us,
+        thread_invariant,
+        reply_cache_hits: harness.engine().reply_cache().hits(),
+        reply_cache_misses: harness.engine().reply_cache().misses(),
+        solve_cache_hits: solve_hits,
+        solve_cache_misses: solve_misses,
+    };
+
+    let body = vec![
+        vec!["cold batch (all misses)".into(), format!("{cold_ms:.1} ms"), format!("{cold_qps:.0} q/s")],
+        vec![
+            format!("{hot_batches} hot batches (all hits)"),
+            format!("{hot_ms:.1} ms"),
+            format!("{hot_qps:.0} q/s"),
+        ],
+        vec![
+            format!("{latency_roundtrips} single-query round-trips"),
+            format!("p50 {p50_us:.0} µs"),
+            format!("p99 {p99_us:.0} µs"),
+        ],
+    ];
+    println!("{}", text_table(&["configuration", "wall", "rate"], &body));
+    println!(
+        "reply bytes at threads 1/2/8: {}; reply cache {} hits / {} misses",
+        if thread_invariant { "identical" } else { "DIVERGED" },
+        payload.reply_cache_hits,
+        payload.reply_cache_misses
+    );
+    let path = write_artifact("BENCH_serve", &payload)?;
+    println!("artifact: {}", path.display());
+    if !thread_invariant {
+        return Err(BenchError::Serve(macgame_serve::ServeError::Protocol(
+            "reply byte streams diverged across MACGAME_THREADS settings".into(),
+        )));
+    }
     Ok(())
 }
 

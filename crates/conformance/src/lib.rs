@@ -16,10 +16,12 @@
 //!   methodology, with honest error bars).
 //!
 //! [`report::run_conformance`] runs both pillars plus the analytic
-//! paper-value claims and the fault-plane robustness claims (zero-rate
+//! paper-value claims, the fault-plane robustness claims (zero-rate
 //! runs bitwise identical to the fault-free path; the solver fallback
-//! ladder agreeing with the plain solver), and returns a
-//! [`report::ConformanceReport`] whose
+//! ladder agreeing with the plain solver), the class-solver claims, and
+//! the serve-path claims (reply bytes thread-invariant on the wire;
+//! coalesced replies bitwise equal to fresh solves; connections survive
+//! protocol garbage), and returns a [`report::ConformanceReport`] whose
 //! serialization is byte-identical for every thread count — `repro --
 //! conformance` writes it to `artifacts/CONFORMANCE.json`.
 
@@ -49,6 +51,8 @@ pub enum ConformanceError {
     Game(macgame_core::GameError),
     /// Multi-hop layer error.
     Multihop(macgame_multihop::MultihopError),
+    /// Serve-layer error (engine construction, wire round-trips).
+    Serve(macgame_serve::ServeError),
     /// Filesystem error touching a golden fixture.
     Io(std::io::Error),
     /// Fixture serialization error.
@@ -81,6 +85,7 @@ impl fmt::Display for ConformanceError {
             ConformanceError::Sim(e) => write!(f, "simulation error: {e}"),
             ConformanceError::Game(e) => write!(f, "game error: {e}"),
             ConformanceError::Multihop(e) => write!(f, "multihop error: {e}"),
+            ConformanceError::Serve(e) => write!(f, "serve error: {e}"),
             ConformanceError::Io(e) => write!(f, "io error: {e}"),
             ConformanceError::Json(e) => write!(f, "serialization error: {e}"),
             ConformanceError::MissingGolden { name, path } => write!(
@@ -108,6 +113,7 @@ impl std::error::Error for ConformanceError {
             ConformanceError::Sim(e) => Some(e),
             ConformanceError::Game(e) => Some(e),
             ConformanceError::Multihop(e) => Some(e),
+            ConformanceError::Serve(e) => Some(e),
             ConformanceError::Io(e) => Some(e),
             ConformanceError::Json(e) => Some(e),
             _ => None,
@@ -136,6 +142,12 @@ impl From<macgame_core::GameError> for ConformanceError {
 impl From<macgame_multihop::MultihopError> for ConformanceError {
     fn from(e: macgame_multihop::MultihopError) -> Self {
         ConformanceError::Multihop(e)
+    }
+}
+
+impl From<macgame_serve::ServeError> for ConformanceError {
+    fn from(e: macgame_serve::ServeError) -> Self {
+        ConformanceError::Serve(e)
     }
 }
 

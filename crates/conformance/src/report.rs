@@ -386,6 +386,116 @@ fn class_solver_claims() -> Result<Vec<Claim>, ConformanceError> {
     Ok(claims)
 }
 
+/// Gates the NE-as-a-service path end to end **through the wire**: every
+/// claim drives the engine with `ServeHarness`, so frames are encoded,
+/// parsed, evaluated and re-framed exactly as a remote client would see:
+///
+/// * the reply byte stream of a mixed batch is **identical** for worker
+///   thread counts 1, 2 and 8 (the `MACGAME_THREADS` knob, exercised via
+///   `EngineConfig::threads`);
+/// * a batch with every query duplicated coalesces to one evaluation per
+///   unique query, and each duplicate's reply is **bitwise equal** to a
+///   fresh engine's solve;
+/// * a connection fed a garbage frame answers with a structured error
+///   reply and still serves the next well-formed batch.
+fn serve_claims() -> Result<Vec<Claim>, ConformanceError> {
+    use macgame_core::queries::Query;
+    use macgame_serve::frame::write_frame;
+    use macgame_serve::{EngineConfig, Reply, ServeHarness};
+
+    let mut claims = Vec::new();
+
+    // A mixed batch touching all four query types and both access modes.
+    let mut queries = Vec::new();
+    for w_dev in [8u32, 20, 40, 64] {
+        queries.push(Query::DeviationPayoff {
+            players: 5,
+            mode: AccessMode::Basic,
+            w_star: 79,
+            w_dev,
+            reaction_stages: 1,
+            delta_s: 0.5,
+        });
+    }
+    queries.push(Query::WcStar { players: 5, mode: AccessMode::Basic, w_max: 512 });
+    queries.push(Query::WcStar { players: 8, mode: AccessMode::RtsCts, w_max: 512 });
+    queries.push(Query::NeInterval { players: 5, mode: AccessMode::Basic, w_max: 512 });
+    queries.push(Query::RobustnessCell {
+        players: 4,
+        mode: AccessMode::Basic,
+        window: 32,
+        reaction_stages: 1,
+        epsilon: DEFAULT_NE_EPSILON,
+    });
+
+    // Reply bytes invariant under the worker-thread count.
+    let mut streams = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let harness =
+            ServeHarness::with_config(EngineConfig { threads, ..EngineConfig::default() })?;
+        streams.push(harness.reply_bytes(&queries)?);
+    }
+    let thread_invariant = streams.iter().all(|s| s == &streams[0]);
+    claims.push(Claim::boolean(
+        "serve-replies-thread-invariant",
+        thread_invariant,
+        format!(
+            "{}-query batch over the wire: reply streams at worker counts 1/2/8 {} ({} bytes)",
+            queries.len(),
+            if thread_invariant { "identical" } else { "DIVERGED" },
+            streams[0].len()
+        ),
+    ));
+
+    // Coalesced duplicates answer bitwise like fresh solves.
+    let mut duplicated = Vec::new();
+    for _ in 0..3 {
+        duplicated.extend(queries.iter().cloned());
+    }
+    let coalescing = ServeHarness::new()?;
+    let coalesced_replies = coalescing.query_batch(&duplicated)?;
+    let fresh = ServeHarness::new()?;
+    let fresh_replies = fresh.query_batch(&queries)?;
+    let one_eval_per_unique = coalescing.engine().reply_cache().misses() == queries.len() as u64;
+    let bitwise = coalesced_replies.len() == duplicated.len()
+        && coalesced_replies.iter().enumerate().all(|(i, reply)| match (reply, &fresh_replies[i % queries.len()]) {
+            (Reply::Ok { result, .. }, Reply::Ok { result: expected, .. }) => result == expected,
+            _ => false,
+        });
+    claims.push(Claim::boolean(
+        "serve-coalescing-bitwise",
+        one_eval_per_unique && bitwise,
+        format!(
+            "{} requests → {} evaluations; duplicate replies == fresh solves: {bitwise}",
+            duplicated.len(),
+            coalescing.engine().reply_cache().misses()
+        ),
+    ));
+
+    // Protocol garbage yields a structured error and the connection
+    // keeps serving.
+    let recovery = ServeHarness::new()?;
+    let mut wire = Vec::new();
+    write_frame(&mut wire, b"definitely not a batch request")?;
+    wire.extend_from_slice(&ServeHarness::encode_batch(&queries)?);
+    let replies = ServeHarness::decode_replies(&recovery.roundtrip_raw(&wire)?)?;
+    let recovered = replies.len() == 1 + queries.len()
+        && matches!(replies[0], Reply::Error { id: None, .. })
+        && replies[1..].iter().all(Reply::is_ok);
+    claims.push(Claim::boolean(
+        "serve-protocol-error-recovery",
+        recovered,
+        format!(
+            "garbage frame + {}-query batch on one connection → {} replies \
+             (1 structured error, rest Ok)",
+            queries.len(),
+            replies.len()
+        ),
+    ));
+
+    Ok(claims)
+}
+
 fn golden_claim<T: Serialize>(name: &str, value: &T) -> Result<Claim, ConformanceError> {
     let claim_name = format!("golden-{name}");
     match check_golden(name, value) {
@@ -436,6 +546,7 @@ pub fn run_conformance(
     }));
     claims.extend(robustness_claims()?);
     claims.extend(class_solver_claims()?);
+    claims.extend(serve_claims()?);
     telemetry::counter("conformance.claims", claims.len() as u64);
     Ok(ConformanceReport {
         slots: settings.slots,
@@ -509,6 +620,15 @@ mod tests {
         assert_eq!(claims.len(), 2);
         for c in &claims {
             assert!(c.pass, "class-solver claim {} failed: {}", c.name, c.detail);
+        }
+    }
+
+    #[test]
+    fn serve_claims_all_pass() {
+        let claims = serve_claims().unwrap();
+        assert_eq!(claims.len(), 3);
+        for c in &claims {
+            assert!(c.pass, "serve claim {} failed: {}", c.name, c.detail);
         }
     }
 }

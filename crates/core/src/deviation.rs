@@ -14,7 +14,8 @@
 //! expense; long-sighted ones do not — the crux of why TFT sustains the
 //! efficient NE.
 
-use macgame_dcf::classes::SymmetricMemo;
+use macgame_dcf::cache::SolveCache;
+use macgame_dcf::classes::{class_utilities, ClassProfile, SymmetricMemo};
 use macgame_dcf::fixedpoint::{solve, solve_symmetric, SolveOptions};
 use macgame_dcf::parallel::{resolve_threads, solve_sweep_seeded};
 use macgame_dcf::utility::{all_utilities, node_utility};
@@ -66,6 +67,83 @@ pub fn symmetric_stage(game: &GameConfig, w: u32) -> Result<f64, GameError> {
     let taus = vec![sym.tau; n];
     let ps = vec![sym.collision_prob; n];
     Ok(node_utility(0, &taus, &ps, game.params(), game.utility()))
+}
+
+/// Guards the cached stage variants: a [`SolveCache`] bound to different
+/// DCF parameters would silently answer for the wrong channel.
+fn check_cache_params(game: &GameConfig, cache: &SolveCache) -> Result<(), GameError> {
+    if cache.params() != game.params() {
+        return Err(GameError::InvalidConfig(
+            "solve cache is bound to different DCF parameters than the game".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// [`deviator_stage`] routed through a shared [`SolveCache`]: the
+/// one-deviator profile collapses to at most two classes, so repeated
+/// queries over a parameter grid (the serve-layer workload) hit the
+/// cached class solution instead of re-running the fixed point. Results
+/// are deterministic and agree with [`deviator_stage`] to solver
+/// tolerance (the cached path solves at class level, the direct path at
+/// node level — the same fixed point either way).
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidConfig`] if `cache` is bound to different
+/// DCF parameters than `game`, or for fewer than two players; propagates
+/// solver failures.
+pub fn deviator_stage_cached(
+    game: &GameConfig,
+    w_others: u32,
+    w_dev: u32,
+    cache: &SolveCache,
+) -> Result<DeviatorStage, GameError> {
+    check_cache_params(game, cache)?;
+    let n = game.player_count();
+    if n < 2 {
+        return Err(GameError::InvalidConfig("deviation needs at least two players".into()));
+    }
+    let profile = if w_dev == w_others {
+        ClassProfile::new(vec![w_others], vec![n])?
+    } else {
+        ClassProfile::new(vec![w_dev, w_others], vec![1, n - 1])?
+    };
+    let eq = cache.solve_class_profile(&profile)?;
+    let us =
+        class_utilities(&profile, &eq.taus, &eq.collision_probs, game.params(), game.utility());
+    if w_dev == w_others {
+        return Ok(DeviatorStage { deviator: us[0], compliant: us[0] });
+    }
+    // Classes are sorted by window; locate the deviator's class.
+    let dev_class = profile
+        .windows()
+        .iter()
+        .position(|&w| w == w_dev)
+        .ok_or_else(|| GameError::InvalidConfig("deviator window missing from profile".into()))?;
+    Ok(DeviatorStage { deviator: us[dev_class], compliant: us[1 - dev_class] })
+}
+
+/// [`symmetric_stage`] routed through a shared [`SolveCache`]: the
+/// homogeneous profile is a single class, so grid workloads revisiting
+/// the same `(n, w)` pay one fixed-point solve total. Deterministic;
+/// agrees with [`symmetric_stage`] to solver tolerance.
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidConfig`] on a parameter-mismatched cache;
+/// propagates solver failures.
+pub fn symmetric_stage_cached(
+    game: &GameConfig,
+    w: u32,
+    cache: &SolveCache,
+) -> Result<f64, GameError> {
+    check_cache_params(game, cache)?;
+    let profile = ClassProfile::new(vec![w], vec![game.player_count()])?;
+    let eq = cache.solve_class_profile(&profile)?;
+    let us =
+        class_utilities(&profile, &eq.taus, &eq.collision_probs, game.params(), game.utility());
+    Ok(us[0])
 }
 
 /// Stage utility rates for every window in `1..=hi`, indexed by window
@@ -218,11 +296,25 @@ pub fn shortsighted_deviation(
     if !(0.0..1.0).contains(&delta_s) {
         return Err(GameError::InvalidConfig("deviator discount must be in [0, 1)".into()));
     }
-    let t = game.stage_duration().value();
     let during = deviator_stage(game, w_star, w_s)?;
     let after = symmetric_stage(game, w_s)?;
     let at_star = symmetric_stage(game, w_star)?;
+    Ok(price_deviation(game, w_s, reaction_stages, delta_s, during, after, at_star))
+}
 
+/// Discounted-payoff pricing shared by the direct and cache-routed
+/// short-sighted evaluations: the Section V.D head/tail split priced from
+/// the three stage rates.
+fn price_deviation(
+    game: &GameConfig,
+    w_s: u32,
+    reaction_stages: u32,
+    delta_s: f64,
+    during: DeviatorStage,
+    after: f64,
+    at_star: f64,
+) -> DeviationOutcome {
+    let t = game.stage_duration().value();
     let m = reaction_stages as i32;
     let head = (1.0 - delta_s.powi(m)) / (1.0 - delta_s);
     let tail = delta_s.powi(m) / (1.0 - delta_s);
@@ -230,14 +322,46 @@ pub fn shortsighted_deviation(
     let deviant_payoff = t * (head * during.deviator + tail * after);
     let compliant_payoff = t * at_star / (1.0 - delta_s);
     let victim_payoff = t * (head * during.compliant + tail * after);
-    Ok(DeviationOutcome {
+    DeviationOutcome {
         w_s,
         delta_s,
         reaction_stages,
         deviant_payoff,
         compliant_payoff,
         victim_payoff,
-    })
+    }
+}
+
+/// [`shortsighted_deviation`] with every stage solve routed through a
+/// shared [`SolveCache`] — the serve-layer entry point, where deviation
+/// grids revisit the same `(W*, W_s)` class profiles across requests. The
+/// pricing is identical to the direct path; only the
+/// stage-rate computation goes through the cache, so results agree with
+/// [`shortsighted_deviation`] to solver tolerance and are bitwise
+/// reproducible for a given cache.
+///
+/// # Errors
+///
+/// Same conditions as [`shortsighted_deviation`], plus
+/// [`GameError::InvalidConfig`] on a parameter-mismatched cache.
+pub fn shortsighted_deviation_cached(
+    game: &GameConfig,
+    w_star: u32,
+    w_s: u32,
+    reaction_stages: u32,
+    delta_s: f64,
+    cache: &SolveCache,
+) -> Result<DeviationOutcome, GameError> {
+    if reaction_stages == 0 {
+        return Err(GameError::InvalidConfig("TFT reaction takes at least one stage".into()));
+    }
+    if !(0.0..1.0).contains(&delta_s) {
+        return Err(GameError::InvalidConfig("deviator discount must be in [0, 1)".into()));
+    }
+    let during = deviator_stage_cached(game, w_star, w_s, cache)?;
+    let after = symmetric_stage_cached(game, w_s, cache)?;
+    let at_star = symmetric_stage_cached(game, w_star, cache)?;
+    Ok(price_deviation(game, w_s, reaction_stages, delta_s, during, after, at_star))
 }
 
 /// Evaluates every downward deviation `w_s ∈ [1, w_star]` in one batch,

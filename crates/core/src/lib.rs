@@ -59,6 +59,7 @@ pub mod history;
 pub mod lemmas;
 pub mod population;
 pub mod protocol;
+pub mod queries;
 pub mod ratecontrol;
 pub mod repeated;
 pub mod search;
@@ -72,6 +73,7 @@ pub use evaluator::{
     StageEvaluator, StageOutcome,
 };
 pub use game::{GameConfig, GameConfigBuilder};
+pub use queries::{evaluate_query, Query, QueryResult, SolveCaches};
 pub use history::{History, StageRecord};
 pub use repeated::{ConvergenceReport, RepeatedGame};
 pub use search::{run_search, AnalyticProbe, SearchOutcome, SimulatedProbe};

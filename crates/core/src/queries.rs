@@ -1,0 +1,426 @@
+//! Typed analytic queries and query → evaluator routing.
+//!
+//! This is the domain half of the NE-as-a-service stack: `macgame-serve`
+//! owns framing, batching, coalescing and transport, while this module
+//! owns *what a query means* — each [`Query`] variant names one analytic
+//! product of the paper (the efficient NE `W_c*`, the Theorem 2 NE
+//! interval, a Section V.D short-sighted deviation payoff, one cell of a
+//! robustness grid) and [`evaluate_query`] routes it to the evaluator
+//! that computes it.
+//!
+//! Every route is a pure function of the query (no wall clock, no
+//! entropy), so evaluation is deterministic: the same query always yields
+//! the same [`QueryResult`], bitwise, which is what lets the serve layer
+//! promise byte-identical reply streams under any thread count.
+//!
+//! Heterogeneous and homogeneous stage solves route through a per-mode
+//! [`SolveCache`] ([`SolveCaches`]) — one sharded, capacity-bounded cache
+//! per [`AccessMode`], because cached solutions are only valid for the
+//! parameter set they were computed under.
+
+use macgame_dcf::cache::SolveCache;
+use macgame_dcf::fixedpoint::SolveOptions;
+use macgame_dcf::{AccessMode, DcfParams};
+use serde::{Deserialize, Serialize};
+
+use crate::deviation::{shortsighted_deviation_cached, symmetric_stage_cached};
+use crate::equilibrium::{check_symmetric_ne, efficient_ne, ne_interval};
+use crate::error::GameError;
+use crate::game::GameConfig;
+
+/// One typed analytic query, the unit of the serve-layer batch protocol.
+///
+/// All variants are fully specified — there are no defaulted fields — so
+/// a query's canonical JSON doubles as its cache/coalescing key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// The efficient symmetric NE window `W_c*` (paper Section V.B) for
+    /// `players` nodes under `mode`, searched over `1..=w_max`.
+    WcStar {
+        /// Number of contending nodes.
+        players: usize,
+        /// Basic or RTS/CTS access.
+        mode: AccessMode,
+        /// Upper bound of the window strategy space.
+        w_max: u32,
+    },
+    /// The Theorem 2 NE interval `[W_c⁰, W_c*]`.
+    NeInterval {
+        /// Number of contending nodes.
+        players: usize,
+        /// Basic or RTS/CTS access.
+        mode: AccessMode,
+        /// Upper bound of the window strategy space.
+        w_max: u32,
+    },
+    /// A Section V.D short-sighted deviation payoff: one deviator drops
+    /// from the common `w_star` to `w_dev` against a TFT crowd reacting
+    /// after `reaction_stages`, discounting at `delta_s`.
+    DeviationPayoff {
+        /// Number of contending nodes.
+        players: usize,
+        /// Basic or RTS/CTS access.
+        mode: AccessMode,
+        /// The common (equilibrium) window being deviated from.
+        w_star: u32,
+        /// The deviator's window.
+        w_dev: u32,
+        /// TFT reaction lag in stages (≥ 1).
+        reaction_stages: u32,
+        /// The deviator's discount factor in `[0, 1)`.
+        delta_s: f64,
+    },
+    /// One cell of an `(n, W)` robustness grid: is the common window
+    /// still an ε-NE, and how much welfare does it retain relative to
+    /// the efficient NE `W_c*`?
+    RobustnessCell {
+        /// Number of contending nodes.
+        players: usize,
+        /// Basic or RTS/CTS access.
+        mode: AccessMode,
+        /// The common window under test.
+        window: u32,
+        /// TFT reaction lag in stages (≥ 1).
+        reaction_stages: u32,
+        /// Relative NE tolerance (see [`crate::equilibrium::DEFAULT_NE_EPSILON`]).
+        epsilon: f64,
+    },
+}
+
+impl Query {
+    /// The access mode this query evaluates under.
+    #[must_use]
+    pub fn mode(&self) -> AccessMode {
+        match *self {
+            Query::WcStar { mode, .. }
+            | Query::NeInterval { mode, .. }
+            | Query::DeviationPayoff { mode, .. }
+            | Query::RobustnessCell { mode, .. } => mode,
+        }
+    }
+}
+
+/// The result of evaluating one [`Query`], variant-matched to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryResult {
+    /// Answer to [`Query::WcStar`].
+    WcStar {
+        /// The efficient NE window `W_c*`.
+        window: u32,
+        /// The per-node stage utility rate at `W_c*` (per µs).
+        utility: f64,
+    },
+    /// Answer to [`Query::NeInterval`].
+    NeInterval {
+        /// Lower end `W_c⁰` (break-even window).
+        lower: u32,
+        /// Upper end `W_c*` (efficient NE).
+        upper: u32,
+        /// Number of windows in the closed interval.
+        count: u32,
+    },
+    /// Answer to [`Query::DeviationPayoff`].
+    DeviationPayoff {
+        /// The deviator's window (echoed).
+        w_s: u32,
+        /// Deviator's total discounted payoff under the deviation.
+        deviant_payoff: f64,
+        /// Deviator's payoff had it complied with `w_star`.
+        compliant_payoff: f64,
+        /// Each victim's discounted payoff while the deviation plays out.
+        victim_payoff: f64,
+        /// `deviant_payoff - compliant_payoff`.
+        gain: f64,
+        /// Whether the deviation strictly profits.
+        profitable: bool,
+    },
+    /// Answer to [`Query::RobustnessCell`].
+    RobustnessCell {
+        /// The window under test (echoed).
+        window: u32,
+        /// Whether the window is an ε-NE.
+        is_ne: bool,
+        /// The most profitable deviation window, if any deviation gains.
+        best_deviation_window: Option<u32>,
+        /// That deviation's discounted gain, if any.
+        best_deviation_gain: Option<f64>,
+        /// Per-node stage welfare at `window` relative to `W_c*`.
+        welfare_fraction: f64,
+    },
+}
+
+/// One sharded [`SolveCache`] per [`AccessMode`]: cached class solutions
+/// are only valid for the DCF parameter set they were computed under, and
+/// the query space spans both channel models.
+#[derive(Debug)]
+pub struct SolveCaches {
+    basic: SolveCache,
+    rtscts: SolveCache,
+}
+
+impl SolveCaches {
+    /// Builds one bounded cache per access mode (Table I default
+    /// parameters, default solver options); `capacity` is the per-mode
+    /// resident bound, with `0` the documented no-op cache — see
+    /// [`SolveCache::with_capacity`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation failures.
+    pub fn with_capacity(capacity: usize) -> Result<Self, GameError> {
+        let basic = DcfParams::builder().access_mode(AccessMode::Basic).build()?;
+        let rtscts = DcfParams::builder().access_mode(AccessMode::RtsCts).build()?;
+        Ok(SolveCaches {
+            basic: SolveCache::with_capacity(basic, SolveOptions::default(), capacity),
+            rtscts: SolveCache::with_capacity(rtscts, SolveOptions::default(), capacity),
+        })
+    }
+
+    /// The cache bound to `mode`'s parameters.
+    #[must_use]
+    pub fn for_mode(&self, mode: AccessMode) -> &SolveCache {
+        match mode {
+            AccessMode::Basic => &self.basic,
+            AccessMode::RtsCts => &self.rtscts,
+        }
+    }
+
+    /// Aggregate `(hits, misses, evictions)` across both caches.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.basic.hits() + self.rtscts.hits(),
+            self.basic.misses() + self.rtscts.misses(),
+            self.basic.evictions() + self.rtscts.evictions(),
+        )
+    }
+}
+
+/// Builds the game a query evaluates on. `w_max` is the strategy-space
+/// bound for the interval/optimum searches; deviation and robustness
+/// queries use the default bound.
+fn game_for(players: usize, mode: AccessMode, w_max: Option<u32>) -> Result<GameConfig, GameError> {
+    let params = DcfParams::builder().access_mode(mode).build()?;
+    let mut builder = GameConfig::builder(players);
+    builder.params(params);
+    if let Some(w_max) = w_max {
+        builder.w_max(w_max);
+    }
+    builder.build()
+}
+
+/// Routes one [`Query`] to its evaluator. Pure and deterministic: the
+/// same query yields the same result bitwise, with or without cache hits
+/// (a [`SolveCache`] hit shares the solution a fresh solve would have
+/// produced).
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidConfig`] for out-of-range query fields;
+/// propagates solver failures.
+pub fn evaluate_query(query: &Query, caches: &SolveCaches) -> Result<QueryResult, GameError> {
+    let cache = caches.for_mode(query.mode());
+    match *query {
+        Query::WcStar { players, mode, w_max } => {
+            let game = game_for(players, mode, Some(w_max))?;
+            let ne = efficient_ne(&game)?;
+            Ok(QueryResult::WcStar { window: ne.window, utility: ne.utility })
+        }
+        Query::NeInterval { players, mode, w_max } => {
+            let game = game_for(players, mode, Some(w_max))?;
+            let interval = ne_interval(&game)?;
+            Ok(QueryResult::NeInterval {
+                lower: interval.lower,
+                upper: interval.upper,
+                count: interval.count(),
+            })
+        }
+        Query::DeviationPayoff { players, mode, w_star, w_dev, reaction_stages, delta_s } => {
+            let game = game_for(players, mode, None)?;
+            let outcome =
+                shortsighted_deviation_cached(&game, w_star, w_dev, reaction_stages, delta_s, cache)?;
+            Ok(QueryResult::DeviationPayoff {
+                w_s: outcome.w_s,
+                deviant_payoff: outcome.deviant_payoff,
+                compliant_payoff: outcome.compliant_payoff,
+                victim_payoff: outcome.victim_payoff,
+                gain: outcome.gain(),
+                profitable: outcome.profitable(),
+            })
+        }
+        Query::RobustnessCell { players, mode, window, reaction_stages, epsilon } => {
+            let game = game_for(players, mode, None)?;
+            let check = check_symmetric_ne(&game, window, reaction_stages, epsilon)?;
+            let star = efficient_ne(&game)?;
+            let at_window = symmetric_stage_cached(&game, window, cache)?;
+            let at_star = symmetric_stage_cached(&game, star.window, cache)?;
+            Ok(QueryResult::RobustnessCell {
+                window,
+                is_ne: check.is_ne,
+                best_deviation_window: check.best_deviation.map(|(w, _)| w),
+                best_deviation_gain: check.best_deviation.map(|(_, g)| g),
+                welfare_fraction: at_window / at_star,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deviation::shortsighted_deviation;
+    use crate::equilibrium::DEFAULT_NE_EPSILON;
+
+    fn caches() -> SolveCaches {
+        SolveCaches::with_capacity(1024).unwrap()
+    }
+
+    #[test]
+    fn wc_star_matches_direct_evaluation() {
+        let caches = caches();
+        let q = Query::WcStar { players: 10, mode: AccessMode::Basic, w_max: 4096 };
+        let QueryResult::WcStar { window, utility } = evaluate_query(&q, &caches).unwrap() else {
+            panic!("variant mismatch");
+        };
+        let game = game_for(10, AccessMode::Basic, Some(4096)).unwrap();
+        let direct = efficient_ne(&game).unwrap();
+        assert_eq!(window, direct.window);
+        assert_eq!(utility, direct.utility);
+    }
+
+    #[test]
+    fn ne_interval_is_consistent_with_wc_star() {
+        let caches = caches();
+        let q = Query::NeInterval { players: 5, mode: AccessMode::RtsCts, w_max: 4096 };
+        let QueryResult::NeInterval { lower, upper, count } =
+            evaluate_query(&q, &caches).unwrap()
+        else {
+            panic!("variant mismatch");
+        };
+        assert!(lower <= upper);
+        assert_eq!(count, upper - lower + 1);
+        let wc = Query::WcStar { players: 5, mode: AccessMode::RtsCts, w_max: 4096 };
+        let QueryResult::WcStar { window, .. } = evaluate_query(&wc, &caches).unwrap() else {
+            panic!("variant mismatch");
+        };
+        assert_eq!(upper, window);
+    }
+
+    #[test]
+    fn deviation_payoff_agrees_with_uncached_path() {
+        let caches = caches();
+        let q = Query::DeviationPayoff {
+            players: 5,
+            mode: AccessMode::Basic,
+            w_star: 79,
+            w_dev: 20,
+            reaction_stages: 1,
+            delta_s: 0.0,
+        };
+        let QueryResult::DeviationPayoff { deviant_payoff, compliant_payoff, profitable, .. } =
+            evaluate_query(&q, &caches).unwrap()
+        else {
+            panic!("variant mismatch");
+        };
+        let game = game_for(5, AccessMode::Basic, None).unwrap();
+        let direct = shortsighted_deviation(&game, 79, 20, 1, 0.0).unwrap();
+        // Cached stages solve at class level, direct at node level — the
+        // same fixed point, agreeing to solver tolerance.
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-12);
+        assert!(rel(deviant_payoff, direct.deviant_payoff) < 1e-6);
+        assert!(rel(compliant_payoff, direct.compliant_payoff) < 1e-6);
+        assert_eq!(profitable, direct.profitable());
+    }
+
+    #[test]
+    fn robustness_cell_at_the_efficient_ne_holds() {
+        let caches = caches();
+        let wc = Query::WcStar { players: 5, mode: AccessMode::Basic, w_max: 4096 };
+        let QueryResult::WcStar { window: w_star, .. } = evaluate_query(&wc, &caches).unwrap()
+        else {
+            panic!("variant mismatch");
+        };
+        let q = Query::RobustnessCell {
+            players: 5,
+            mode: AccessMode::Basic,
+            window: w_star,
+            reaction_stages: 1,
+            epsilon: DEFAULT_NE_EPSILON,
+        };
+        let QueryResult::RobustnessCell { is_ne, welfare_fraction, .. } =
+            evaluate_query(&q, &caches).unwrap()
+        else {
+            panic!("variant mismatch");
+        };
+        assert!(is_ne, "W_c* must be an ε-NE");
+        assert!((welfare_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluation_is_bitwise_reproducible_and_uses_the_cache() {
+        let caches = caches();
+        let q = Query::DeviationPayoff {
+            players: 6,
+            mode: AccessMode::RtsCts,
+            w_star: 100,
+            w_dev: 30,
+            reaction_stages: 2,
+            delta_s: 0.5,
+        };
+        let first = evaluate_query(&q, &caches).unwrap();
+        let (_, misses_after_first, _) = caches.counters();
+        let second = evaluate_query(&q, &caches).unwrap();
+        let (hits, misses, _) = caches.counters();
+        assert_eq!(first, second, "same query, same result, bitwise");
+        assert_eq!(misses, misses_after_first, "revisit must not re-solve");
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn invalid_queries_surface_errors_not_panics() {
+        let caches = caches();
+        let bad = [
+            Query::WcStar { players: 0, mode: AccessMode::Basic, w_max: 4096 },
+            Query::DeviationPayoff {
+                players: 5,
+                mode: AccessMode::Basic,
+                w_star: 79,
+                w_dev: 20,
+                reaction_stages: 0,
+                delta_s: 0.0,
+            },
+            Query::DeviationPayoff {
+                players: 5,
+                mode: AccessMode::Basic,
+                w_star: 79,
+                w_dev: 20,
+                reaction_stages: 1,
+                delta_s: 1.5,
+            },
+            Query::RobustnessCell {
+                players: 5,
+                mode: AccessMode::Basic,
+                window: 0,
+                reaction_stages: 1,
+                epsilon: DEFAULT_NE_EPSILON,
+            },
+        ];
+        for q in bad {
+            assert!(evaluate_query(&q, &caches).is_err(), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn queries_round_trip_through_json() {
+        let q = Query::RobustnessCell {
+            players: 20,
+            mode: AccessMode::RtsCts,
+            window: 64,
+            reaction_stages: 2,
+            epsilon: 1e-5,
+        };
+        let json = serde_json::to_string(&q).unwrap();
+        let back: Query = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+    }
+}

@@ -1,0 +1,216 @@
+//! Sharded query → result reply cache.
+//!
+//! The second cache tier of the serve stack: `dcf::SolveCache` memoizes
+//! *class solutions* (shared across query types), while this cache
+//! memoizes *finished query results* keyed by the query's canonical JSON
+//! — a hot repeated query costs one shard lookup plus serialization, no
+//! solver work at all. That is the tier that carries the 10^5 queries/s
+//! hot-batch target.
+//!
+//! Same structure and semantics as the solve cache: up to 16
+//! FNV-1a-sharded, independently locked shards, per-shard FIFO eviction
+//! under a capacity bound, `with_capacity(0)` as the documented no-op
+//! cache. Telemetry lands under the `serve.*` namespace
+//! (`serve.cache.hits` / `serve.cache.misses` / `serve.cache.evictions`).
+//!
+//! Caching never changes bytes: a stored value *is* the value a fresh
+//! evaluation produced (evaluation is deterministic), so hit and miss
+//! replies are bitwise-identical.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use macgame_core::queries::QueryResult;
+use macgame_telemetry as telemetry;
+
+/// Maximum shard count (bounded caches smaller than this get one
+/// single-entry shard per slot, making the capacity exact).
+const MAX_SHARDS: usize = 16;
+
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: BTreeMap<String, Arc<QueryResult>>,
+    order: VecDeque<String>,
+}
+
+/// Canonical-JSON-keyed result cache shared by all connections of one
+/// engine. All methods take `&self`.
+#[derive(Debug)]
+pub struct ReplyCache {
+    shards: Vec<RwLock<Shard>>,
+    /// Per-shard resident bound; `0` is the no-op cache.
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ReplyCache {
+    /// A cache holding at most `capacity` results (`0` = the no-op
+    /// cache: every lookup misses, nothing is stored, no eviction
+    /// churn). Evicts per shard in FIFO insertion order.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let (shard_count, per_shard) = match capacity {
+            0 => (1, 0),
+            c if c < MAX_SHARDS => (c, 1),
+            c => (MAX_SHARDS, c / MAX_SHARDS),
+        };
+        let shards = (0..shard_count).map(|_| RwLock::new(Shard::default())).collect();
+        ReplyCache {
+            shards,
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &str) -> &RwLock<Shard> {
+        &self.shards[(fnv1a(key) % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a result by its canonical query JSON, counting a hit or
+    /// miss either way.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<Arc<QueryResult>> {
+        if self.per_shard == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter("serve.cache.misses", 1);
+            return None;
+        }
+        let found = self
+            .shard_for(key)
+            .read()
+            .expect("reply cache lock poisoned") // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
+            .map
+            .get(key)
+            .map(Arc::clone);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter("serve.cache.hits", 1);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter("serve.cache.misses", 1);
+        }
+        found
+    }
+
+    /// Stores a freshly evaluated result, evicting per-shard FIFO
+    /// overflow. First insert wins on a racing key; the racing values
+    /// are identical anyway (evaluation is deterministic).
+    pub fn insert(&self, key: &str, value: &Arc<QueryResult>) {
+        let bound = self.per_shard;
+        if bound == 0 {
+            return;
+        }
+        let mut guard = self.shard_for(key).write().expect("reply cache lock poisoned"); // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
+        if guard.map.contains_key(key) {
+            return;
+        }
+        guard.map.insert(key.to_owned(), Arc::clone(value));
+        guard.order.push_back(key.to_owned());
+        while guard.map.len() > bound {
+            if let Some(victim) = guard.order.pop_front() {
+                guard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("serve.cache.evictions", 1);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Lookups served from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required fresh evaluation.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Results dropped to stay under the capacity bound.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Results currently resident.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("reply cache lock poisoned").map.len()) // PANIC-POLICY: lock poisoning means a panic is already unwinding; propagating it is correct
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(n: u32) -> Arc<QueryResult> {
+        Arc::new(QueryResult::NeInterval { lower: n, upper: n + 10, count: 11 })
+    }
+
+    #[test]
+    fn get_after_insert_hits_and_shares_the_value() {
+        let c = ReplyCache::with_capacity(64);
+        assert!(c.get("k1").is_none());
+        let v = result(8);
+        c.insert("k1", &v);
+        let got = c.get("k1").unwrap();
+        assert!(Arc::ptr_eq(&got, &v));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let c = ReplyCache::with_capacity(2);
+        for i in 0..6u32 {
+            c.insert(&format!("k{i}"), &result(i));
+        }
+        assert!(c.len() <= 2);
+        assert_eq!(c.evictions(), 6 - c.len() as u64);
+    }
+
+    #[test]
+    fn zero_capacity_is_a_noop() {
+        let c = ReplyCache::with_capacity(0);
+        c.insert("k", &result(1));
+        assert!(c.get("k").is_none());
+        assert!(c.is_empty());
+        assert_eq!((c.hits(), c.misses(), c.evictions()), (0, 1, 0));
+    }
+
+    #[test]
+    fn first_insert_wins_on_duplicate_keys() {
+        let c = ReplyCache::with_capacity(8);
+        let first = result(1);
+        let second = result(2);
+        c.insert("k", &first);
+        c.insert("k", &second);
+        assert!(Arc::ptr_eq(&c.get("k").unwrap(), &first));
+        assert_eq!(c.len(), 1);
+    }
+}

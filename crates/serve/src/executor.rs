@@ -1,0 +1,64 @@
+//! Fixed-chunk batch executor — the `dcf::parallel` discipline applied
+//! to query evaluation.
+//!
+//! Work is split into fixed-size chunks of [`SERVE_CHUNK`] items and
+//! fanned over the vendored thread pool with order-preserving joins
+//! (`rayon::map_in_order`). Chunk boundaries depend only on the item
+//! count — never on the thread count — and items never share mutable
+//! state across a boundary, so the output vector is **identical for
+//! every thread count**, which is what keeps serve reply bytes invariant
+//! under `MACGAME_THREADS`.
+
+use macgame_dcf::parallel::resolve_threads;
+
+/// Fixed chunk size for batch fan-out. Mirrors
+/// [`macgame_dcf::parallel::SWEEP_CHUNK`]: big enough to amortize
+/// per-task overhead, small enough to load-balance a mixed batch.
+pub const SERVE_CHUNK: usize = 32;
+
+/// Maps `f` over `items` in fixed chunks across `threads` workers
+/// (`0` = auto from `MACGAME_THREADS`), preserving input order. The
+/// result is bitwise-independent of `threads`.
+pub fn map_chunked<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = resolve_threads(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut current = Vec::with_capacity(SERVE_CHUNK);
+    for item in items {
+        current.push(item);
+        if current.len() == SERVE_CHUNK {
+            chunks.push(std::mem::replace(&mut current, Vec::with_capacity(SERVE_CHUNK)));
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    let mapped: Vec<Vec<R>> =
+        rayon::map_in_order(chunks, threads, |chunk| chunk.iter().map(&f).collect());
+    mapped.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..101).collect();
+        let serial = map_chunked(items.clone(), 1, |&x| x * x);
+        for threads in [2, 3, 8] {
+            assert_eq!(serial, map_chunked(items.clone(), threads, |&x| x * x));
+        }
+        assert_eq!(serial[100], 100 * 100);
+    }
+
+    #[test]
+    fn handles_empty_and_sub_chunk_batches() {
+        assert!(map_chunked(Vec::<u8>::new(), 4, |&x| x).is_empty());
+        assert_eq!(map_chunked(vec![5u8], 4, |&x| x + 1), vec![6]);
+    }
+}

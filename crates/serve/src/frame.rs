@@ -1,0 +1,194 @@
+//! Length-prefixed framing: `[u32 big-endian length][payload bytes]`.
+//!
+//! The codec is deliberately dumb — no escaping, no checksums — because
+//! the transport (pipe, TCP) is already reliable and the payload is JSON.
+//! What it *does* guarantee is that malformed input can never panic or
+//! wedge the reader: every failure mode maps to a [`FrameError`] variant
+//! the connection loop turns into a structured `ErrorReply`, and an
+//! oversized declaration can be skipped with [`discard`] so the stream
+//! resynchronizes on the next frame boundary.
+
+use std::io::{Read, Write};
+
+/// Hard upper bound on a frame payload (1 MiB). A declared length above
+/// this is rejected *before* allocating, so a hostile or corrupt prefix
+/// cannot balloon memory.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Failure modes of [`read_frame`].
+#[derive(Debug)]
+pub enum FrameError {
+    /// The declared payload length exceeds [`MAX_FRAME_LEN`]. The payload
+    /// bytes are still on the wire; [`discard`] skips them to resync.
+    TooLarge {
+        /// The length the prefix declared.
+        declared: usize,
+    },
+    /// The stream ended mid-prefix or mid-payload.
+    Truncated,
+    /// An I/O error other than clean end-of-stream.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge { declared } => {
+                write!(f, "frame declares {declared} bytes, limit is {MAX_FRAME_LEN}")
+            }
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes. Distinguishes clean EOF before the
+/// first byte (`Ok(false)`) from EOF partway through (`Truncated`).
+fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<bool, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(FrameError::Truncated);
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame. `Ok(None)` is clean end-of-stream (no partial bytes);
+/// `Ok(Some(payload))` is a complete frame.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] for an oversized declaration (payload still
+/// unread — call [`discard`] to resync), [`FrameError::Truncated`] for a
+/// stream that ends mid-frame, [`FrameError::Io`] otherwise.
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    if !read_exact_or_eof(reader, &mut prefix)? {
+        return Ok(None);
+    }
+    let declared = u32::from_be_bytes(prefix) as usize;
+    if declared > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge { declared });
+    }
+    let mut payload = vec![0u8; declared];
+    if !read_exact_or_eof(reader, &mut payload)? && declared > 0 {
+        return Err(FrameError::Truncated);
+    }
+    Ok(Some(payload))
+}
+
+/// Skips `count` payload bytes after an oversized declaration so the
+/// reader lands on the next frame boundary. Returns `false` if the
+/// stream ended first (nothing left to resync to).
+///
+/// # Errors
+///
+/// Propagates I/O errors other than end-of-stream.
+pub fn discard(reader: &mut impl Read, count: usize) -> Result<bool, FrameError> {
+    let mut remaining = count;
+    let mut sink = [0u8; 4096];
+    while remaining > 0 {
+        let take = remaining.min(sink.len());
+        match reader.read(&mut sink[..take]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => remaining -= n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Writes one frame (length prefix + payload).
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads above [`MAX_FRAME_LEN`].
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "frame payload exceeds MAX_FRAME_LEN",
+        ));
+    }
+    let len = payload.len() as u32;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"world").unwrap();
+        let mut reader = Cursor::new(wire);
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"world");
+        assert!(read_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut reader = Cursor::new(wire);
+        match read_frame(&mut reader) {
+            Err(FrameError::TooLarge { declared }) => assert_eq!(declared, u32::MAX as usize),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_detected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&10u32.to_be_bytes());
+        wire.extend_from_slice(b"abc"); // 3 of 10 bytes
+        let mut reader = Cursor::new(wire);
+        assert!(matches!(read_frame(&mut reader), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn truncated_prefix_is_detected() {
+        let mut reader = Cursor::new(vec![0u8, 0]);
+        assert!(matches!(read_frame(&mut reader), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn discard_resyncs_to_the_next_frame() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&((MAX_FRAME_LEN + 5) as u32).to_be_bytes());
+        wire.extend_from_slice(&vec![0xAB; MAX_FRAME_LEN + 5]);
+        write_frame(&mut wire, b"after").unwrap();
+        let mut reader = Cursor::new(wire);
+        let Err(FrameError::TooLarge { declared }) = read_frame(&mut reader) else {
+            panic!("expected TooLarge");
+        };
+        assert!(discard(&mut reader, declared).unwrap());
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"after");
+    }
+}

@@ -1,0 +1,120 @@
+//! Connection loops: framed JSON over any `Read + Write` pair, with
+//! stdin/stdout and TCP front ends.
+//!
+//! Protocol failures never tear down a connection when recovery is
+//! possible: an oversized length prefix is answered with a structured
+//! error reply and its payload skipped (the stream resynchronizes on the
+//! next frame boundary); a payload that fails to parse is answered the
+//! same way; only a truncated stream — which has no next frame — ends
+//! the loop, after a best-effort error reply.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use macgame_telemetry as telemetry;
+
+use crate::engine::Engine;
+use crate::frame::{discard, read_frame, write_frame, FrameError};
+use crate::protocol::{ErrorKind, ErrorReply, Reply};
+use crate::ServeError;
+
+fn frame_level_error(kind: ErrorKind, message: String) -> Vec<u8> {
+    let reply = Reply::Error { id: None, error: ErrorReply { kind, message } };
+    serde_json::to_string(&reply)
+        .expect("error replies contain no unserializable values") // PANIC-POLICY: Reply is a closed type whose fields all serialize (programmer-error guard)
+        .into_bytes()
+}
+
+/// Serves one connection: reads request frames until end-of-stream,
+/// writing reply frames in request order. Malformed input yields
+/// structured error replies and keeps the loop alive wherever the stream
+/// can resynchronize.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] only for transport-level write/read
+/// failures (a peer that vanished); protocol-level garbage is handled
+/// in-band.
+pub fn serve_stream<R: Read, W: Write>(
+    engine: &Engine,
+    reader: &mut R,
+    writer: &mut W,
+) -> Result<(), ServeError> {
+    loop {
+        match read_frame(reader) {
+            Ok(None) => return Ok(()), // clean end-of-stream
+            Ok(Some(payload)) => {
+                for reply in engine.handle_payload(&payload) {
+                    write_frame(writer, &reply)?;
+                }
+                writer.flush()?;
+            }
+            Err(FrameError::TooLarge { declared }) => {
+                telemetry::counter("serve.frame_errors", 1);
+                let reply = frame_level_error(
+                    ErrorKind::FrameTooLarge,
+                    FrameError::TooLarge { declared }.to_string(),
+                );
+                write_frame(writer, &reply)?;
+                writer.flush()?;
+                if !discard(reader, declared)? {
+                    return Ok(()); // stream ended inside the oversized payload
+                }
+            }
+            Err(FrameError::Truncated) => {
+                telemetry::counter("serve.frame_errors", 1);
+                // Best-effort: the peer may already be gone.
+                let reply =
+                    frame_level_error(ErrorKind::TruncatedFrame, FrameError::Truncated.to_string());
+                let _ = write_frame(writer, &reply);
+                let _ = writer.flush();
+                return Ok(());
+            }
+            Err(FrameError::Io(e)) => return Err(ServeError::Io(e)),
+        }
+    }
+}
+
+/// Serves stdin/stdout until end-of-stream — the subprocess transport.
+///
+/// # Errors
+///
+/// Propagates transport-level I/O failures.
+pub fn serve_stdio(engine: &Engine) -> Result<(), ServeError> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut reader = stdin.lock();
+    let mut writer = stdout.lock();
+    serve_stream(engine, &mut reader, &mut writer)
+}
+
+/// Accepts connections forever, serving each on its own thread — the
+/// socket transport. Per-connection failures (a peer that vanished
+/// mid-frame) end that connection only, never the accept loop.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] if the listener itself fails.
+pub fn serve_tcp(engine: &Arc<Engine>, listener: &TcpListener) -> Result<(), ServeError> {
+    loop {
+        let (stream, _peer) = listener.accept()?;
+        telemetry::counter("serve.connections", 1);
+        let engine = Arc::clone(engine);
+        std::thread::spawn(move || {
+            let _ = serve_tcp_connection(&engine, stream);
+        });
+    }
+}
+
+/// Serves one accepted TCP stream (reader and writer halves of the same
+/// socket).
+///
+/// # Errors
+///
+/// Propagates transport-level I/O failures on this connection.
+pub fn serve_tcp_connection(engine: &Engine, stream: TcpStream) -> Result<(), ServeError> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    serve_stream(engine, &mut reader, &mut writer)
+}

@@ -1,0 +1,127 @@
+//! Determinism regressions for the serve path: the reply **byte stream**
+//! (not just the decoded values) must be a pure function of the batch
+//! contents — invariant under worker-thread count, intra-batch order
+//! (modulo the induced reply order), and duplicate coalescing.
+//!
+//! Thread-count invariance is exercised through `EngineConfig::threads`,
+//! the same knob `MACGAME_THREADS` feeds via `resolve_threads(0)`;
+//! setting the env var itself would race with the parallel test runner.
+
+use macgame_core::queries::Query;
+use macgame_dcf::AccessMode;
+use macgame_serve::{EngineConfig, Reply, ServeHarness};
+
+fn harness_with_threads(threads: usize) -> ServeHarness {
+    ServeHarness::with_config(EngineConfig { threads, ..EngineConfig::default() }).unwrap()
+}
+
+/// A mixed batch large enough to span several executor chunks
+/// (`SERVE_CHUNK = 32`), covering all four query types.
+fn mixed_batch() -> Vec<Query> {
+    let mut queries = Vec::new();
+    for w_dev in 1..=60 {
+        queries.push(Query::DeviationPayoff {
+            players: 5,
+            mode: if w_dev % 2 == 0 { AccessMode::Basic } else { AccessMode::RtsCts },
+            w_star: 79,
+            w_dev,
+            reaction_stages: 1,
+            delta_s: 0.5,
+        });
+    }
+    for players in 2..=6 {
+        queries.push(Query::WcStar { players, mode: AccessMode::Basic, w_max: 512 });
+        queries.push(Query::NeInterval { players, mode: AccessMode::RtsCts, w_max: 512 });
+    }
+    queries.push(Query::RobustnessCell {
+        players: 4,
+        mode: AccessMode::Basic,
+        window: 32,
+        reaction_stages: 2,
+        epsilon: 1e-9,
+    });
+    queries
+}
+
+#[test]
+fn reply_bytes_are_invariant_under_thread_count() {
+    let queries = mixed_batch();
+    let baseline = harness_with_threads(1).reply_bytes(&queries).unwrap();
+    assert!(!baseline.is_empty());
+    for threads in [2, 8] {
+        let h = harness_with_threads(threads);
+        let cold = h.reply_bytes(&queries).unwrap();
+        assert_eq!(cold, baseline, "cold replies diverged at threads={threads}");
+        // A hot pass serves from the reply cache; bytes must not change.
+        let hot = h.reply_bytes(&queries).unwrap();
+        assert_eq!(hot, baseline, "hot replies diverged at threads={threads}");
+    }
+}
+
+#[test]
+fn shuffled_batches_get_request_ordered_replies() {
+    let queries = mixed_batch();
+    // Per-query ground truth: each query evaluated alone on a fresh
+    // engine, keyed by its canonical JSON.
+    let solo = ServeHarness::new().unwrap();
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|query| {
+            let replies = solo.query_batch(std::slice::from_ref(query)).unwrap();
+            serde_json::to_string(&replies[0]).unwrap()
+        })
+        .collect();
+
+    // A deterministic non-trivial permutation (stride walk).
+    let n = queries.len();
+    let stride = 17; // coprime with the batch length
+    assert_eq!(gcd(stride, n), 1, "stride must generate the full cycle");
+    let order: Vec<usize> = (0..n).map(|i| (i * stride) % n).collect();
+    let shuffled: Vec<Query> = order.iter().map(|&i| queries[i].clone()).collect();
+
+    let h = ServeHarness::new().unwrap();
+    let replies = h.query_batch(&shuffled).unwrap();
+    assert_eq!(replies.len(), n);
+    for (slot, &source) in order.iter().enumerate() {
+        let Reply::Ok { id, result } = &replies[slot] else {
+            panic!("query {source} failed in shuffled batch");
+        };
+        // Ids are batch-positional (1-based); results must match the
+        // solo evaluation of the query now sitting at this slot.
+        assert_eq!(*id, slot as u64 + 1);
+        let got = serde_json::to_string(&Reply::Ok { id: 1, result: result.clone() }).unwrap();
+        assert_eq!(got, expected[source], "slot {slot} (query {source}) diverged under shuffle");
+    }
+}
+
+#[test]
+fn coalesced_replies_are_bitwise_equal_to_fresh_solves() {
+    let unique = mixed_batch();
+    // Each query repeated three times, interleaved.
+    let mut duplicated = Vec::new();
+    for _ in 0..3 {
+        duplicated.extend(unique.iter().cloned());
+    }
+
+    let coalescing = ServeHarness::new().unwrap();
+    let replies = coalescing.query_batch(&duplicated).unwrap();
+    assert_eq!(coalescing.engine().reply_cache().misses(), unique.len() as u64);
+
+    let fresh = ServeHarness::new().unwrap();
+    let reference = fresh.query_batch(&unique).unwrap();
+    for (i, reply) in replies.iter().enumerate() {
+        let Reply::Ok { result, .. } = reply else { panic!("request {i} failed") };
+        let Reply::Ok { result: expected, .. } = &reference[i % unique.len()] else {
+            panic!("reference {i} failed")
+        };
+        assert_eq!(result, expected, "coalesced reply {i} diverged from a fresh solve");
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}

@@ -1,0 +1,150 @@
+//! Protocol-robustness properties: nothing a client can put on the wire
+//! panics the engine or wedges the connection — the DESIGN.md §12 panic
+//! policy extended to the transport. Every malformed input yields a
+//! structured `ErrorReply`, and the stream keeps serving wherever it can
+//! resynchronize.
+
+use macgame_core::queries::Query;
+use macgame_dcf::AccessMode;
+use macgame_serve::frame::{write_frame, MAX_FRAME_LEN};
+use macgame_serve::{ErrorKind, Reply, ServeHarness};
+use proptest::prelude::*;
+
+fn harness() -> ServeHarness {
+    ServeHarness::new().unwrap()
+}
+
+fn valid_queries() -> Vec<Query> {
+    vec![
+        Query::WcStar { players: 3, mode: AccessMode::Basic, w_max: 256 },
+        Query::NeInterval { players: 4, mode: AccessMode::RtsCts, w_max: 256 },
+    ]
+}
+
+/// Every reply on the wire must parse back as a `Reply` — the engine
+/// never emits partial or corrupt frames, whatever it was fed.
+fn assert_all_replies_parse(wire: &[u8]) -> Vec<Reply> {
+    ServeHarness::decode_replies(wire).expect("engine output must always be well-formed frames")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_engine(
+        garbage in prop::collection::vec(0u8..=255, 0..256),
+    ) {
+        let h = harness();
+        let out = h.roundtrip_raw(&garbage).unwrap();
+        // Whatever came back is a sequence of well-formed reply frames.
+        let replies = assert_all_replies_parse(&out);
+        for reply in &replies {
+            prop_assert!(!reply.is_ok(), "garbage input cannot produce an Ok reply");
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_then_valid_frame_still_get_served(
+        garbage in prop::collection::vec(0u8..=255, 1..64),
+    ) {
+        // Frame the garbage properly so only the *payload* is malformed:
+        // the stream stays frame-aligned and must recover.
+        let h = harness();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &garbage).unwrap();
+        wire.extend_from_slice(&ServeHarness::encode_batch(&valid_queries()).unwrap());
+        let replies = assert_all_replies_parse(&h.roundtrip_raw(&wire).unwrap());
+        prop_assert_eq!(replies.len(), 1 + valid_queries().len());
+        prop_assert!(!replies[0].is_ok(), "garbage payload must yield an error reply");
+        for reply in &replies[1..] {
+            prop_assert!(reply.is_ok(), "connection must stay usable after a bad frame");
+        }
+    }
+
+    #[test]
+    fn truncated_frames_yield_a_structured_error(
+        declared in 1u32..1024,
+        keep in 0usize..512,
+    ) {
+        let h = harness();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&declared.to_be_bytes());
+        // Strictly fewer payload bytes than declared: a truncated stream.
+        let keep = keep.min(declared as usize - 1);
+        wire.extend_from_slice(&vec![0x7B; keep]);
+        let replies = assert_all_replies_parse(&h.roundtrip_raw(&wire).unwrap());
+        prop_assert_eq!(replies.len(), 1);
+        let Reply::Error { id, error } = &replies[0] else {
+            panic!("expected an error reply");
+        };
+        prop_assert_eq!(*id, None);
+        prop_assert_eq!(error.kind, ErrorKind::TruncatedFrame);
+    }
+
+    #[test]
+    fn oversized_prefixes_are_skipped_and_the_stream_resyncs(
+        excess in 1usize..4096,
+    ) {
+        let h = harness();
+        let declared = MAX_FRAME_LEN + excess;
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(declared as u32).to_be_bytes());
+        wire.extend_from_slice(&vec![0xAB; declared]);
+        wire.extend_from_slice(&ServeHarness::encode_batch(&valid_queries()).unwrap());
+        let replies = assert_all_replies_parse(&h.roundtrip_raw(&wire).unwrap());
+        prop_assert_eq!(replies.len(), 1 + valid_queries().len());
+        let Reply::Error { error, .. } = &replies[0] else {
+            panic!("expected an error reply");
+        };
+        prop_assert_eq!(error.kind, ErrorKind::FrameTooLarge);
+        for reply in &replies[1..] {
+            prop_assert!(reply.is_ok(), "stream must resynchronize after the skipped payload");
+        }
+    }
+
+    #[test]
+    fn malformed_json_payloads_get_a_null_id_error(
+        text in prop::collection::vec(32u8..127, 1..64),
+    ) {
+        // Printable ASCII that is (almost) never a valid batch; if the
+        // draw happens to be valid JSON for the schema, the property
+        // trivially holds via the is_ok branch.
+        let h = harness();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &text).unwrap();
+        let replies = assert_all_replies_parse(&h.roundtrip_raw(&wire).unwrap());
+        prop_assert_eq!(replies.len(), 1);
+        match &replies[0] {
+            Reply::Error { id, error } => {
+                prop_assert_eq!(*id, None);
+                prop_assert_eq!(error.kind, ErrorKind::MalformedJson);
+            }
+            Reply::Ok { .. } => {} // astronomically unlikely valid draw
+        }
+    }
+}
+
+#[test]
+fn error_replies_carry_nonempty_messages() {
+    let h = harness();
+    let mut wire = Vec::new();
+    write_frame(&mut wire, b"{]").unwrap();
+    let replies = assert_all_replies_parse(&h.roundtrip_raw(&wire).unwrap());
+    let Reply::Error { error, .. } = &replies[0] else { panic!("expected error") };
+    assert!(!error.message.is_empty());
+}
+
+#[test]
+fn bad_queries_inside_a_valid_batch_do_not_poison_neighbors() {
+    let h = harness();
+    let queries = vec![
+        Query::WcStar { players: 0, mode: AccessMode::Basic, w_max: 256 }, // invalid
+        Query::WcStar { players: 3, mode: AccessMode::Basic, w_max: 256 }, // valid
+    ];
+    let replies = h.query_batch(&queries).unwrap();
+    assert_eq!(replies.len(), 2);
+    let Reply::Error { id, error } = &replies[0] else { panic!("expected error") };
+    assert_eq!(*id, Some(1));
+    assert_eq!(error.kind, ErrorKind::Evaluation);
+    assert!(replies[1].is_ok());
+}

@@ -35,6 +35,17 @@
 //!   so that everything outside that section is byte-stable across runs
 //!   and across `MACGAME_THREADS` settings.
 //!
+//! # Namespaces
+//!
+//! Metric names are dot-separated and prefixed by the emitting crate:
+//! `dcf.*` (solver, sweep, and solve-cache internals), `core.*`
+//! (evaluator, search, tournaments), `multihop.*`, `faults.*`,
+//! `serve.*` (the batch-query engine: `serve.queries`, `serve.batches`,
+//! `serve.coalesced`, `serve.connections`, `serve.errors`,
+//! `serve.frame_errors`, and the reply-cache `serve.cache.{hits,misses,
+//! evictions}` alongside the lower-tier `dcf.cache.*`), `conformance.*`,
+//! and `profile.*` for the top-level `repro -- profile` workloads.
+//!
 //! # Example
 //!
 //! ```

@@ -30,6 +30,9 @@ rm artifacts/ROBUSTNESS.threads1.json
 echo "==> solver benchmark trajectory (repro -- bench-solver --quick)"
 cargo run --release -p macgame-bench --bin repro -- bench-solver --quick
 
+echo "==> serve benchmark (repro -- bench-serve --quick, wire-path qps + thread invariance)"
+cargo run --release -p macgame-bench --bin repro -- bench-serve --quick
+
 echo "==> workspace invariant lints (repro -- lint)"
 cargo run --release -p macgame-bench --bin repro -- lint
 

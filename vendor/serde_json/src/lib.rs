@@ -313,13 +313,27 @@ impl<'a> Parser<'a> {
                         }
                     }
                 }
+                _ if b < 0x80 => out.push(b as char),
                 _ => {
-                    // Re-decode UTF-8 starting at the byte we consumed.
+                    // Multibyte: decode exactly one UTF-8 sequence. The
+                    // leading byte fixes its length, so validation stays
+                    // O(1) per character (validating the whole remaining
+                    // input here made parsing quadratic).
                     let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error("invalid UTF-8".into())),
+                    };
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(Error("invalid UTF-8".into()));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| Error("invalid UTF-8".into()))?;
                     let c = s.chars().next().unwrap();
-                    self.pos = start + c.len_utf8();
+                    self.pos = end;
                     out.push(c);
                 }
             }
