@@ -10,8 +10,8 @@
 
 use macgame_bench::render::{text_table, write_artifact, write_raw_artifact};
 use macgame_bench::{
-    deviation_exp, extensions_exp, figures, multihop_exp, profile_exp, robustness_exp, search_exp,
-    tables, BenchError,
+    deviation_exp, edca_exp, extensions_exp, figures, multihop_exp, profile_exp, robustness_exp,
+    search_exp, tables, BenchError,
 };
 use macgame_conformance::{run_conformance, ConformanceSettings};
 use macgame_dcf::{AccessMode, MicroSecs};
@@ -29,6 +29,7 @@ const EXPERIMENTS: &[&str] = &[
     "ne-interval",
     "convergence",
     "delay",
+    "edca",
     "ratecontrol",
     "tournament",
     "validate",
@@ -76,6 +77,7 @@ fn main() {
             "ne-interval" => ne_interval(),
             "convergence" => convergence(),
             "delay" => delay(),
+            "edca" => edca(quick),
             "ratecontrol" => ratecontrol(),
             "tournament" => tournament(),
             "validate" => validate(quick),
@@ -394,6 +396,96 @@ fn delay() -> Result<(), BenchError> {
     println!("  RTS/CTS: cheap collisions let delay-sensitive nodes go aggressive.");
     let path = write_artifact("delay", &artifacts)?;
     println!("artifact: {}", path.display());
+    Ok(())
+}
+
+fn edca(quick: bool) -> Result<(), BenchError> {
+    let settings = if quick { edca_exp::EdcaSettings::quick() } else { edca_exp::EdcaSettings::full() };
+    println!(
+        "EDCA strategy space (CWmin, m, AIFS, TXOP): cheating gains, Table II \
+         degeneracy, TFT plane, sim agreement ({} slots × {} replicas)",
+        settings.slots, settings.replications
+    );
+    let payload = edca_exp::run_edca(&settings)?;
+
+    println!("per-knob cheating gains at baseline {:?}:", payload.baseline);
+    let mut body = Vec::new();
+    for surface in &payload.gain_surface {
+        for row in &surface.rows {
+            body.push(vec![
+                surface.axis.clone(),
+                row.value.to_string(),
+                format!("{:.4}", row.gain),
+                format!("{:.3e}", row.deviator_rate),
+                format!("{:.3e}", row.compliant_rate),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        text_table(&["knob", "value", "gain", "deviator /µs", "compliant /µs"], &body)
+    );
+    println!(
+        "lattice best response: {:?} (gain {:.3})",
+        payload.best_response.tuple, payload.best_response.gain
+    );
+
+    println!("degenerate tuples vs the scalar Table II scan:");
+    let body: Vec<Vec<String>> = payload
+        .degenerate
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.w_star_scalar.to_string(),
+                r.w_star_edca.to_string(),
+                if r.window_equal && r.utility_bitwise && r.tau_bitwise {
+                    "bitwise".into()
+                } else {
+                    "DIVERGED".into()
+                },
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["n", "scalar W_c*", "EDCA W_c*", "agreement"], &body));
+
+    println!("(CWmin, TXOP) TFT deviation plane:");
+    for section in &payload.plane {
+        println!(
+            "  δ_s = {:<5} reaction = {}: {}/{} cells profitable",
+            section.delta_s,
+            section.reaction_stages,
+            section.profitable_cells,
+            section.cells.len()
+        );
+    }
+
+    let body: Vec<Vec<String>> = payload
+        .sim
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                format!("{:.2}%", 100.0 * s.max_tau_error),
+                format!("{:.2}%", 100.0 * s.max_p_error),
+                format!("{:.2}%", 100.0 * s.throughput_error),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["sim scenario", "max τ̂ err", "max p̂ err", "Ŝ err"], &body));
+
+    let path = write_artifact("EDCA", &payload)?;
+    println!("artifact: {}", path.display());
+    println!("note: the artifact is byte-identical across MACGAME_THREADS settings");
+    let consistent = payload
+        .degenerate
+        .iter()
+        .all(|r| r.window_equal && r.utility_bitwise && r.tau_bitwise);
+    if !consistent {
+        return Err(BenchError::Game(macgame_core::GameError::InvalidConfig(
+            "EDCA degenerate tuples diverged from the scalar Table II scan".into(),
+        )));
+    }
     Ok(())
 }
 

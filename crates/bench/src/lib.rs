@@ -10,6 +10,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod deviation_exp;
+pub mod edca_exp;
 pub mod extensions_exp;
 pub mod figures;
 pub mod multihop_exp;

@@ -10,12 +10,16 @@ use macgame_core::deviation::{
     malicious_impact, optimal_shortsighted_deviation, shortsighted_deviation, DeviationOutcome,
     MaliciousImpact,
 };
+use macgame_core::edca::{edca_axis_sweep, EdcaAxis, EdcaGainRow, EdcaStageMemo};
 use macgame_core::search::{run_search, AnalyticProbe, SearchOutcome};
 use macgame_core::{efficient_ne, GameConfig};
 use macgame_dcf::fixedpoint::{solve, SolveOptions};
 use macgame_dcf::optimal::{efficient_cw_from_tau_star, ne_interval, DEFAULT_W_MAX};
 use macgame_dcf::params::AccessMode;
-use macgame_dcf::{DcfParams, SolutionRecord, UtilityParams};
+use macgame_dcf::{
+    edca_slot_stats, solve_edca, DcfParams, EdcaEquilibrium, EdcaProfile, EdcaSlotStats,
+    EdcaTuple, SolutionRecord, UtilityParams,
+};
 use macgame_multihop::convergence::{tft_converge, ConvergenceTrace};
 use macgame_multihop::Topology;
 use serde::{Deserialize, Serialize};
@@ -30,8 +34,8 @@ pub const REACTION_STAGES: u32 = 2;
 pub const SHORTSIGHTED_DELTA: f64 = 0.9;
 
 /// Names of every golden fixture, in check order.
-pub const FIXTURE_NAMES: [&str; 5] =
-    ["fixed_point", "ne_intervals", "search", "deviation", "multihop"];
+pub const FIXTURE_NAMES: [&str; 6] =
+    ["fixed_point", "ne_intervals", "search", "deviation", "multihop", "edca"];
 
 fn basic_params() -> DcfParams {
     DcfParams::default()
@@ -264,6 +268,109 @@ pub fn multihop_golden() -> Result<MultihopGolden, ConformanceError> {
     Ok(MultihopGolden { cases })
 }
 
+/// One solved EDCA profile of the `edca` fixture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdcaCase {
+    /// Case label (what the profile exercises).
+    pub name: String,
+    /// Distinct class tuples, canonical order.
+    pub tuples: Vec<EdcaTuple>,
+    /// Node count per class.
+    pub counts: Vec<usize>,
+    /// Whether the profile delegates to the scalar class solver.
+    pub degenerate: bool,
+    /// The AIFS-thinned class-level fixed point.
+    pub equilibrium: EdcaEquilibrium,
+    /// Slot-process statistics (idle root, success rates, mean slot).
+    pub stats: EdcaSlotStats,
+}
+
+/// One per-knob cheating-gain sweep of the `edca` fixture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdcaGainCase {
+    /// The swept knob ("cw_min", "aifs", or "txop").
+    pub axis: String,
+    /// The sweep rows (value, deviator tuple, rates, gain).
+    pub rows: Vec<EdcaGainRow>,
+}
+
+/// The `edca` fixture: EDCA product-space fixed points (degenerate,
+/// heterogeneous-AIFS, TXOP-burst) with their slot statistics, plus the
+/// per-knob cheating-gain surface at the 5-player efficient NE.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdcaGolden {
+    /// `W_c*` of the 5-player basic game everything is anchored at.
+    pub w_star: u32,
+    /// The pinned profile solves.
+    pub cases: Vec<EdcaCase>,
+    /// The pinned gain sweeps.
+    pub gains: Vec<EdcaGainCase>,
+}
+
+/// Builds the `edca` fixture.
+///
+/// # Errors
+///
+/// Propagates solver and game-layer failures.
+pub fn edca_golden() -> Result<EdcaGolden, ConformanceError> {
+    let params = basic_params();
+    let m = params.max_backoff_stage();
+    let game = paper_game(5)?;
+    let w_star = efficient_ne(&game)?.window;
+
+    let profiles: Vec<(&str, Vec<EdcaTuple>, Vec<usize>)> = vec![
+        (
+            "degenerate-n5",
+            vec![EdcaTuple::legacy(w_star, &params)?],
+            vec![5],
+        ),
+        (
+            "hetero-aifs",
+            vec![
+                EdcaTuple::new(w_star, m, 0, 1)?,
+                EdcaTuple::new(w_star, m, 2, 1)?,
+            ],
+            vec![3, 2],
+        ),
+        (
+            "txop-burst",
+            vec![
+                EdcaTuple::new(w_star, m, 0, 1)?,
+                EdcaTuple::new(w_star, m, 0, 8)?,
+            ],
+            vec![3, 2],
+        ),
+    ];
+    let mut cases = Vec::new();
+    for (name, tuples, counts) in profiles {
+        let profile = EdcaProfile::new(tuples, counts)?;
+        let equilibrium = solve_edca(&profile, &params, SolveOptions::default())?;
+        let stats = edca_slot_stats(&profile, &equilibrium, &params);
+        cases.push(EdcaCase {
+            name: name.to_string(),
+            tuples: profile.tuples().to_vec(),
+            counts: profile.counts().to_vec(),
+            degenerate: profile.is_degenerate(&params),
+            equilibrium,
+            stats,
+        });
+    }
+
+    let sym = EdcaTuple::new(w_star, m, 1, 1)?;
+    let mut memo = EdcaStageMemo::new();
+    let sweeps = [
+        (EdcaAxis::CwMin, vec![w_star / 4, w_star / 2, w_star]),
+        (EdcaAxis::Aifs, vec![0, 1, 2]),
+        (EdcaAxis::Txop, vec![1, 4, 8]),
+    ];
+    let mut gains = Vec::new();
+    for (axis, values) in sweeps {
+        let rows = edca_axis_sweep(&game, sym, axis, &values, &mut memo)?;
+        gains.push(EdcaGainCase { axis: axis.name().to_string(), rows });
+    }
+    Ok(EdcaGolden { w_star, cases, gains })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +425,23 @@ mod tests {
         assert!(golden.optimal.w_s < golden.w_star);
         for impact in &golden.malicious {
             assert!(impact.welfare_after < impact.welfare_at_ne);
+        }
+    }
+
+    #[test]
+    fn edca_fixture_is_deterministic_and_shows_knob_gains() {
+        let a = edca_golden().unwrap();
+        let b = edca_golden().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.cases.len(), 3);
+        assert!(a.cases[0].degenerate);
+        assert!(a.cases[1..].iter().all(|c| !c.degenerate));
+        assert_eq!(a.gains.len(), 3);
+        for case in &a.gains {
+            // Every sweep contains the no-op row (gain exactly 1) and a
+            // row that strictly pays the selfish ward.
+            assert!(case.rows.iter().any(|r| (r.gain - 1.0).abs() < 1e-12), "{}", case.axis);
+            assert!(case.rows.iter().any(|r| r.gain > 1.0), "{}", case.axis);
         }
     }
 

@@ -18,8 +18,8 @@ use macgame_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::fixtures::{
-    self, deviation_golden, fixed_point_golden, multihop_golden, ne_intervals_golden,
-    search_golden,
+    self, deviation_golden, edca_golden, fixed_point_golden, multihop_golden,
+    ne_intervals_golden, search_golden,
 };
 use crate::golden::check_golden;
 use crate::statistical::{statistical_claims, ToleranceBudget};
@@ -515,7 +515,175 @@ fn golden_claims() -> Result<Vec<Claim>, ConformanceError> {
         golden_claim(fixtures::FIXTURE_NAMES[2], &search_golden()?)?,
         golden_claim(fixtures::FIXTURE_NAMES[3], &deviation_golden()?)?,
         golden_claim(fixtures::FIXTURE_NAMES[4], &multihop_golden()?)?,
+        golden_claim(fixtures::FIXTURE_NAMES[5], &edca_golden()?)?,
     ])
+}
+
+/// Gates the EDCA `(CWmin, m, AIFS, TXOP)` product-space layer:
+///
+/// * degenerate tuple profiles (uniform AIFS, unit TXOP, ambient stage
+///   cap) solve **bitwise identical** to the scalar class solver on the
+///   collapsed windows, and the burst-aware `W_c*` search at `TXOP = 1`
+///   lands exactly on the scalar optimizer's window — the Table II scan
+///   is a strict special case of the tuple machinery;
+/// * the class-level EDCA solver agrees with the dense per-node reference
+///   iteration to 1e-12 on heterogeneous (AIFS, TXOP) profiles;
+/// * the slot engine's EDCA twin (AIFS defer + TXOP bursts) reproduces
+///   the AIFS-thinned fixed point within the paper tolerance budget on a
+///   heterogeneous-AIFS and a TXOP-burst scenario.
+fn edca_claims(settings: &ConformanceSettings) -> Result<Vec<Claim>, ConformanceError> {
+    use macgame_core::queries::{evaluate_query, Query, QueryResult, SolveCaches};
+    use macgame_dcf::fixedpoint::{solve_classes, SolveOptions};
+    use macgame_dcf::{solve_edca, solve_edca_dense, ClassProfile, EdcaProfile, EdcaTuple};
+    use macgame_sim::validate_edca_sweep;
+
+    let params = DcfParams::default();
+    let m = params.max_backoff_stage();
+    let options = SolveOptions::default();
+    let mut claims = Vec::new();
+
+    // Degenerate tuples reproduce the scalar stage game bitwise, and the
+    // unit-burst EdcaWcStar query answers bitwise like the scalar WcStar.
+    let caches = SolveCaches::with_capacity(1024)?;
+    let mut bitwise = true;
+    let mut detail = Vec::new();
+    for n in [5usize, 10, 20] {
+        let game = GameConfig::builder(n).build()?;
+        let w_star = efficient_ne(&game)?.window;
+        let profile =
+            EdcaProfile::new(vec![EdcaTuple::legacy(w_star, &params)?], vec![n])?;
+        let edca = solve_edca(&profile, &params, options)?;
+        let classes = ClassProfile::new(vec![w_star], vec![n])?;
+        let scalar = solve_classes(&classes, &params, options)?;
+        bitwise &= edca
+            .taus
+            .iter()
+            .zip(&scalar.taus)
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+            && edca
+                .collision_probs
+                .iter()
+                .zip(&scalar.collision_probs)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        let w_max = game.w_max();
+        let scalar_query = evaluate_query(
+            &Query::WcStar { players: n, mode: AccessMode::Basic, w_max },
+            &caches,
+        )?;
+        let edca_query = evaluate_query(
+            &Query::EdcaWcStar { players: n, mode: AccessMode::Basic, txop: 1, w_max },
+            &caches,
+        )?;
+        match (scalar_query, edca_query) {
+            (
+                QueryResult::WcStar { window, utility },
+                QueryResult::EdcaWcStar { window: w_e, utility: u_e, txop: 1 },
+            ) => {
+                bitwise &= window == w_e && utility.to_bits() == u_e.to_bits();
+                detail.push(format!("n={n}: W_c*={window} (edca: {w_e})"));
+            }
+            _ => bitwise = false,
+        }
+    }
+    claims.push(Claim::boolean(
+        "edca-degenerate-bitwise",
+        bitwise,
+        format!("degenerate tuples == scalar class solve, bitwise; {}", detail.join(", ")),
+    ));
+
+    // Class-level EDCA solves vs the dense per-node reference iteration.
+    let hetero: Vec<(Vec<EdcaTuple>, Vec<usize>)> = vec![
+        (
+            vec![EdcaTuple::new(76, m, 0, 1)?, EdcaTuple::new(76, m, 2, 1)?],
+            vec![3, 2],
+        ),
+        (
+            vec![EdcaTuple::new(76, m, 0, 4)?, EdcaTuple::new(128, m, 1, 1)?],
+            vec![2, 3],
+        ),
+        (
+            vec![
+                EdcaTuple::new(16, 1, 0, 8)?,
+                EdcaTuple::new(76, m, 1, 1)?,
+                EdcaTuple::new(256, m, 3, 2)?,
+            ],
+            vec![1, 5, 2],
+        ),
+    ];
+    let mut worst_gap = 0.0f64;
+    for (tuples, counts) in &hetero {
+        let profile = EdcaProfile::new(tuples.clone(), counts.clone())?;
+        let class_eq = solve_edca(&profile, &params, options)?;
+        let dense = solve_edca_dense(&profile.expand_tuples(), &params, options)?;
+        let mut node = 0usize;
+        for (class, &count) in profile.counts().iter().enumerate() {
+            for _ in 0..count {
+                worst_gap = worst_gap.max((class_eq.taus[class] - dense.taus[node]).abs());
+                worst_gap = worst_gap
+                    .max((class_eq.thinned_taus[class] - dense.thinned_taus[node]).abs());
+                worst_gap = worst_gap.max(
+                    (class_eq.collision_probs[class] - dense.collision_probs[node]).abs(),
+                );
+                node += 1;
+            }
+        }
+    }
+    claims.push(Claim::gated(
+        "edca-class-vs-dense",
+        worst_gap,
+        1e-12,
+        format!(
+            "max |τ|, |τ̃|, |p| gap vs the dense reference over {} profiles: {worst_gap:.3e}",
+            hetero.len()
+        ),
+    ));
+
+    // Slot-engine twin: AIFS defer + TXOP bursts vs the thinned fixed
+    // point, normalized by the paper tolerance budget (≤ 1 passes).
+    let budget = ToleranceBudget::paper();
+    let scenarios: Vec<(&str, Vec<EdcaTuple>, u64)> = vec![
+        (
+            "hetero-aifs",
+            vec![
+                EdcaTuple::legacy(76, &params)?,
+                EdcaTuple::legacy(76, &params)?,
+                EdcaTuple::legacy(76, &params)?,
+                EdcaTuple::new(76, m, 1, 1)?,
+                EdcaTuple::new(76, m, 1, 1)?,
+            ],
+            3_000,
+        ),
+        ("txop-burst", vec![EdcaTuple::new(76, m, 0, 4)?; 5], 4_000),
+    ];
+    let mut worst_normalized = 0.0f64;
+    let mut sim_detail = Vec::new();
+    for (name, tuples, seed_offset) in scenarios {
+        let report = validate_edca_sweep(
+            &tuples,
+            &params,
+            settings.slots,
+            settings.replications,
+            settings.base_seed.wrapping_add(seed_offset),
+            settings.threads,
+        )
+        .map_err(ConformanceError::Sim)?;
+        let tau = report.max_tau_error();
+        let p = report.max_p_error();
+        let s = report.throughput_relative_error();
+        worst_normalized = worst_normalized
+            .max(tau / budget.tau)
+            .max(p / budget.p)
+            .max(s / budget.throughput);
+        sim_detail.push(format!("{name}: τ̂ {tau:.2e}, p̂ {p:.2e}, Ŝ {s:.2e}"));
+    }
+    claims.push(Claim::gated(
+        "edca-sim-agreement",
+        worst_normalized,
+        1.0,
+        format!("worst error / budget over {}", sim_detail.join("; ")),
+    ));
+
+    Ok(claims)
 }
 
 /// Runs the whole gate — analytic paper-value claims, golden snapshots,
@@ -547,6 +715,7 @@ pub fn run_conformance(
     claims.extend(robustness_claims()?);
     claims.extend(class_solver_claims()?);
     claims.extend(serve_claims()?);
+    claims.extend(edca_claims(settings)?);
     telemetry::counter("conformance.claims", claims.len() as u64);
     Ok(ConformanceReport {
         slots: settings.slots,
@@ -629,6 +798,23 @@ mod tests {
         assert_eq!(claims.len(), 3);
         for c in &claims {
             assert!(c.pass, "serve claim {} failed: {}", c.name, c.detail);
+        }
+    }
+
+    #[test]
+    fn edca_claims_all_pass() {
+        // Deliberately small sim workload: the analytic claims are exact
+        // (bitwise / 1e-12) regardless, and the sim budget is generous
+        // enough for a short sweep.
+        let settings =
+            ConformanceSettings { slots: 20_000, replications: 3, base_seed: 2007, threads: 0 };
+        let claims = edca_claims(&settings).unwrap();
+        assert_eq!(claims.len(), 3);
+        assert_eq!(claims[0].name, "edca-degenerate-bitwise");
+        assert_eq!(claims[1].name, "edca-class-vs-dense");
+        assert_eq!(claims[2].name, "edca-sim-agreement");
+        for c in &claims {
+            assert!(c.pass, "edca claim {} failed: {}", c.name, c.detail);
         }
     }
 }

@@ -22,6 +22,9 @@
 //! * [`protocol`] — the same algorithm as message-passing node actors
 //!   over a lossy broadcast bus, quantifying desync under message loss;
 //! * [`deviation`] — short-sighted (V.D) and malicious (V.E) players;
+//! * [`edca`] — the stage game lifted to the `(CWmin, m, AIFS, TXOP)`
+//!   product space: per-knob cheating gains, tuple-lattice best response
+//!   and TFT pricing over the `(CWmin, TXOP)` plane;
 //! * [`lemmas`] — numeric verification of the ordering Lemmas 1 and 4;
 //! * [`generalized`] / [`ratecontrol`] — the conclusion's claim made
 //!   concrete: the same framework re-instantiated for selfish PHY-rate
@@ -50,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod deviation;
+pub mod edca;
 pub mod equilibrium;
 pub mod error;
 pub mod evaluator;
@@ -66,6 +70,11 @@ pub mod search;
 pub mod strategy;
 pub mod tournament;
 
+pub use edca::{
+    edca_axis_sweep, edca_best_response, edca_cheating_gain, edca_deviator_stage, edca_plane_ne,
+    edca_symmetric_stage, edca_wc_star, EdcaAxis, EdcaBestResponse, EdcaGainRow, EdcaLattice,
+    EdcaPlaneCell, EdcaStageMemo,
+};
 pub use equilibrium::{check_symmetric_ne, efficient_ne, ne_interval, NeCheck, DEFAULT_NE_EPSILON};
 pub use error::GameError;
 pub use evaluator::{

@@ -20,10 +20,11 @@
 
 use macgame_dcf::cache::SolveCache;
 use macgame_dcf::fixedpoint::SolveOptions;
-use macgame_dcf::{AccessMode, DcfParams};
+use macgame_dcf::{AccessMode, DcfParams, EdcaTuple};
 use serde::{Deserialize, Serialize};
 
 use crate::deviation::{shortsighted_deviation_cached, symmetric_stage_cached};
+use crate::edca::{edca_wc_star, EdcaStageMemo};
 use crate::equilibrium::{check_symmetric_ne, efficient_ne, ne_interval};
 use crate::error::GameError;
 use crate::game::GameConfig;
@@ -41,6 +42,20 @@ pub enum Query {
         players: usize,
         /// Basic or RTS/CTS access.
         mode: AccessMode,
+        /// Upper bound of the window strategy space.
+        w_max: u32,
+    },
+    /// The efficient symmetric window at TXOP burst length `txop` — the
+    /// EDCA tuple-space analog of [`Query::WcStar`] (AIFS 0, protocol
+    /// stage cap). `txop = 1` is exactly `WcStar` and routes through the
+    /// same scalar optimizer, so its answer is bitwise-identical.
+    EdcaWcStar {
+        /// Number of contending nodes.
+        players: usize,
+        /// Basic or RTS/CTS access.
+        mode: AccessMode,
+        /// TXOP burst length in frames (`1..=64`).
+        txop: u32,
         /// Upper bound of the window strategy space.
         w_max: u32,
     },
@@ -93,6 +108,7 @@ impl Query {
     pub fn mode(&self) -> AccessMode {
         match *self {
             Query::WcStar { mode, .. }
+            | Query::EdcaWcStar { mode, .. }
             | Query::NeInterval { mode, .. }
             | Query::DeviationPayoff { mode, .. }
             | Query::RobustnessCell { mode, .. } => mode,
@@ -109,6 +125,15 @@ pub enum QueryResult {
         window: u32,
         /// The per-node stage utility rate at `W_c*` (per µs).
         utility: f64,
+    },
+    /// Answer to [`Query::EdcaWcStar`].
+    EdcaWcStar {
+        /// The efficient window at this burst length.
+        window: u32,
+        /// The per-node stage utility rate there (per µs).
+        utility: f64,
+        /// The burst length (echoed).
+        txop: u32,
     },
     /// Answer to [`Query::NeInterval`].
     NeInterval {
@@ -226,6 +251,25 @@ pub fn evaluate_query(query: &Query, caches: &SolveCaches) -> Result<QueryResult
             let ne = efficient_ne(&game)?;
             Ok(QueryResult::WcStar { window: ne.window, utility: ne.utility })
         }
+        Query::EdcaWcStar { players, mode, txop, w_max } => {
+            let game = game_for(players, mode, Some(w_max))?;
+            // Validate the burst length up front so both branches reject
+            // out-of-range tuples with a structured error.
+            EdcaTuple::new(1, game.params().max_backoff_stage(), 0, txop)?;
+            if txop == 1 {
+                // Degenerate burst: this *is* WcStar; reuse the scalar
+                // optimizer so the two queries agree bitwise.
+                let ne = efficient_ne(&game)?;
+                return Ok(QueryResult::EdcaWcStar {
+                    window: ne.window,
+                    utility: ne.utility,
+                    txop,
+                });
+            }
+            let mut memo = EdcaStageMemo::new();
+            let (window, utility) = edca_wc_star(&game, txop, &mut memo)?;
+            Ok(QueryResult::EdcaWcStar { window, utility, txop })
+        }
         Query::NeInterval { players, mode, w_max } => {
             let game = game_for(players, mode, Some(w_max))?;
             let interval = ne_interval(&game)?;
@@ -286,6 +330,55 @@ mod tests {
         let direct = efficient_ne(&game).unwrap();
         assert_eq!(window, direct.window);
         assert_eq!(utility, direct.utility);
+    }
+
+    #[test]
+    fn edca_wc_star_at_unit_burst_is_bitwise_wc_star() {
+        let caches = caches();
+        for mode in [AccessMode::Basic, AccessMode::RtsCts] {
+            let scalar = Query::WcStar { players: 5, mode, w_max: 4096 };
+            let QueryResult::WcStar { window, utility } =
+                evaluate_query(&scalar, &caches).unwrap()
+            else {
+                panic!("variant mismatch");
+            };
+            let edca = Query::EdcaWcStar { players: 5, mode, txop: 1, w_max: 4096 };
+            let QueryResult::EdcaWcStar { window: ew, utility: eu, txop } =
+                evaluate_query(&edca, &caches).unwrap()
+            else {
+                panic!("variant mismatch");
+            };
+            assert_eq!(txop, 1);
+            assert_eq!(ew, window);
+            assert_eq!(eu.to_bits(), utility.to_bits(), "bitwise at {mode:?}");
+        }
+    }
+
+    #[test]
+    fn edca_wc_star_bursts_raise_the_optimal_utility() {
+        let caches = caches();
+        let at = |txop: u32| {
+            let q = Query::EdcaWcStar { players: 5, mode: AccessMode::Basic, txop, w_max: 4096 };
+            let QueryResult::EdcaWcStar { window, utility, .. } =
+                evaluate_query(&q, &caches).unwrap()
+            else {
+                panic!("variant mismatch");
+            };
+            (window, utility)
+        };
+        let (w1, u1) = at(1);
+        let (w4, u4) = at(4);
+        assert!(u4 > u1, "burst optimum {u4} must beat single-frame {u1}");
+        assert!(w1 >= 1 && w4 >= 1);
+    }
+
+    #[test]
+    fn edca_wc_star_rejects_out_of_range_bursts() {
+        let caches = caches();
+        for txop in [0u32, 65] {
+            let q = Query::EdcaWcStar { players: 5, mode: AccessMode::Basic, txop, w_max: 4096 };
+            assert!(evaluate_query(&q, &caches).is_err(), "txop = {txop}");
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! random profiles, TFT dynamics, and deviation pricing.
 
 use macgame_core::deviation::shortsighted_deviation;
+use macgame_core::edca::{edca_cheating_gain, EdcaAxis, EdcaStageMemo};
 use macgame_core::generalized::FiniteGame;
 use macgame_core::population::{replicator, PopulationState};
 use macgame_core::tournament::TournamentResult;
@@ -224,6 +225,86 @@ proptest! {
         let trace = replicator(&t, &PopulationState::uniform(2), 300).unwrap();
         prop_assert!(trace.final_state().share(0) < 0.5);
         prop_assert_eq!(trace.final_state().dominant(), 1);
+    }
+}
+
+/// Cheating gain of the deviation that moves `axis` to `value`, the crowd
+/// pinned on `sym`.
+fn knob_gain(
+    g: &GameConfig,
+    sym: macgame_dcf::EdcaTuple,
+    axis: EdcaAxis,
+    value: u32,
+    memo: &mut EdcaStageMemo,
+) -> f64 {
+    edca_cheating_gain(g, sym, axis.apply(sym, value), memo).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The Banchs selfishness direction, property-checked: moving any
+    // single knob further selfish-ward (lower CWmin, lower AIFS, higher
+    // TXOP) never *decreases* the deviator's cheating gain. Domains stay
+    // in the paper's moderate-congestion regime (small n, crowd windows
+    // well above the efficient scale) where stage rates are positive.
+
+    #[test]
+    fn edca_gain_monotone_in_cw_min(
+        n in 3usize..7,
+        w_sym in 32u32..200,
+        lo in 8u32..128,
+        step in 1u32..128,
+    ) {
+        let g = game(n);
+        let m = g.params().max_backoff_stage();
+        let sym = macgame_dcf::EdcaTuple::new(w_sym, m, 1, 1).unwrap();
+        let mut memo = EdcaStageMemo::new();
+        let g_lo = knob_gain(&g, sym, EdcaAxis::CwMin, lo, &mut memo);
+        let g_hi = knob_gain(&g, sym, EdcaAxis::CwMin, lo + step, &mut memo);
+        prop_assert!(
+            g_lo >= g_hi - 1e-9,
+            "CWmin {lo} gains {g_lo} < CWmin {} gains {g_hi}", lo + step
+        );
+    }
+
+    #[test]
+    fn edca_gain_monotone_in_aifs(
+        n in 3usize..7,
+        w_sym in 32u32..200,
+        sym_aifs in 0u32..3,
+        a_lo in 0u32..5,
+        extra in 1u32..4,
+    ) {
+        let g = game(n);
+        let m = g.params().max_backoff_stage();
+        let sym = macgame_dcf::EdcaTuple::new(w_sym, m, sym_aifs, 1).unwrap();
+        let mut memo = EdcaStageMemo::new();
+        let g_lo = knob_gain(&g, sym, EdcaAxis::Aifs, a_lo, &mut memo);
+        let g_hi = knob_gain(&g, sym, EdcaAxis::Aifs, a_lo + extra, &mut memo);
+        prop_assert!(
+            g_lo >= g_hi - 1e-9,
+            "AIFS {a_lo} gains {g_lo} < AIFS {} gains {g_hi}", a_lo + extra
+        );
+    }
+
+    #[test]
+    fn edca_gain_monotone_in_txop(
+        n in 3usize..7,
+        w_sym in 32u32..200,
+        k_lo in 1u32..9,
+        extra in 1u32..8,
+    ) {
+        let g = game(n);
+        let m = g.params().max_backoff_stage();
+        let sym = macgame_dcf::EdcaTuple::new(w_sym, m, 1, 1).unwrap();
+        let mut memo = EdcaStageMemo::new();
+        let g_lo = knob_gain(&g, sym, EdcaAxis::Txop, k_lo, &mut memo);
+        let g_hi = knob_gain(&g, sym, EdcaAxis::Txop, k_lo + extra, &mut memo);
+        prop_assert!(
+            g_hi >= g_lo - 1e-9,
+            "TXOP {} gains {g_hi} < TXOP {k_lo} gains {g_lo}", k_lo + extra
+        );
     }
 }
 

@@ -62,6 +62,7 @@
 pub mod cache;
 pub mod classes;
 pub mod delay;
+pub mod edca;
 pub mod error;
 pub mod fairness;
 pub mod fixedpoint;
@@ -78,6 +79,10 @@ pub mod utility;
 pub use cache::SolveCache;
 pub use classes::{
     class_slot_stats, class_utilities, ClassEquilibrium, ClassProfile, SymmetricMemo,
+};
+pub use edca::{
+    edca_slot_stats, edca_throughput, edca_utilities, solve_edca, solve_edca_dense,
+    EdcaEquilibrium, EdcaProfile, EdcaSlotStats, EdcaTuple,
 };
 pub use error::{DcfError, SolveAttempt, SolveRung};
 pub use fixedpoint::{

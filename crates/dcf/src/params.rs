@@ -186,6 +186,36 @@ impl DcfParams {
         (body + self.phy.phy_header).tx_time(self.phy.bit_rate)
     }
 
+    /// Channel time of a successful TXOP burst delivering `burst` frames:
+    /// the ordinary success time `T_s` plus, for every frame after the
+    /// first, `SIFS + DATA(H + P) + SIFS + ACK` (the burst continues under
+    /// TXOP protection, so no extra contention, DIFS, or RTS/CTS exchange
+    /// is paid per frame).
+    ///
+    /// `burst = 1` returns [`FrameTimings::success_time`] **exactly**
+    /// (bitwise — the single-frame case takes the untouched legacy path),
+    /// which is what lets the EDCA slot process degenerate to the paper's
+    /// model when nobody bursts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero (a transmission opportunity carries at
+    /// least one frame; this is a programmer-error guard).
+    #[must_use]
+    pub fn txop_success_time(&self, burst: u32) -> MicroSecs {
+        assert!(burst >= 1, "a TXOP burst carries at least one frame"); // PANIC-POLICY: documented # Panics contract (programmer-error guard)
+        let base = self.timings().success_time;
+        if burst == 1 {
+            return base;
+        }
+        let per_frame = self.phy.sifs
+            + self.header_time()
+            + self.payload_time()
+            + self.phy.sifs
+            + self.control_time(self.frames.ack);
+        base + per_frame * f64::from(burst - 1)
+    }
+
     /// Derived busy-channel durations `T_s` (success) and `T_c` (collision)
     /// for the configured access mode, using the paper's Section III/V.F
     /// expressions:
@@ -317,6 +347,26 @@ mod tests {
         // Tc' = 288 + 128 = 416 µs.
         assert_eq!(t.success_time.value(), 9536.0);
         assert_eq!(t.collision_time.value(), 416.0);
+    }
+
+    #[test]
+    fn txop_burst_timing() {
+        let p = DcfParams::default();
+        let t = p.timings();
+        // burst = 1 is bitwise the legacy success time.
+        assert_eq!(p.txop_success_time(1), t.success_time);
+        // Each extra frame costs SIFS + H + P + SIFS + ACK = 28 + 400 +
+        // 8184 + 28 + 240 = 8880 µs.
+        assert_eq!(p.txop_success_time(2).value(), t.success_time.value() + 8880.0);
+        assert_eq!(p.txop_success_time(4).value(), t.success_time.value() + 3.0 * 8880.0);
+        // A burst is cheaper per frame than separate accesses.
+        assert!(p.txop_success_time(3).value() < 3.0 * t.success_time.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn txop_zero_burst_panics() {
+        let _ = DcfParams::default().txop_success_time(0);
     }
 
     #[test]

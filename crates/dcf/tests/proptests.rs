@@ -305,6 +305,157 @@ proptest! {
     }
 }
 
+/// A small palette of EDCA tuples covering all four knobs: drawing nodes
+/// from it bounds the class count at k ≤ 5 while exercising AIFS defers,
+/// TXOP bursts, and non-ambient stage caps together.
+fn edca_palette(m: u32) -> [macgame_dcf::EdcaTuple; 5] {
+    use macgame_dcf::EdcaTuple;
+    [
+        EdcaTuple::new(8, m, 0, 4).unwrap(),
+        EdcaTuple::new(32, m, 0, 1).unwrap(),
+        EdcaTuple::new(76, 3, 1, 2).unwrap(),
+        EdcaTuple::new(150, m, 2, 1).unwrap(),
+        EdcaTuple::new(512, m, 3, 8).unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The class-aggregated EDCA solve and the dense per-node reference
+    /// iteration must agree on every node's τ, τ̃, and p to 1e-12 for
+    /// random tuple profiles with n ≤ 64 and k ≤ 5.
+    #[test]
+    fn edca_class_matches_dense_to_1e12(
+        picks in prop::collection::vec(0usize..5, 2..=64),
+        mode in any_mode(),
+    ) {
+        use macgame_dcf::{solve_edca, solve_edca_dense, EdcaProfile};
+        let p = params(mode);
+        let palette = edca_palette(p.max_backoff_stage());
+        let tuples: Vec<_> = picks.iter().map(|&i| palette[i]).collect();
+        let options = SolveOptions::default();
+        let (profile, assignment) = EdcaProfile::from_tuples(&tuples).unwrap();
+        let class = solve_edca(&profile, &p, options).unwrap().expand(&assignment);
+        let dense = solve_edca_dense(&tuples, &p, options).unwrap();
+        prop_assert!((class.idle_root - dense.idle_root).abs() < 1e-12);
+        for i in 0..tuples.len() {
+            prop_assert!(
+                (class.taus[i] - dense.taus[i]).abs() < 1e-12,
+                "node {i}: class τ {} vs dense τ {}", class.taus[i], dense.taus[i]
+            );
+            prop_assert!(
+                (class.thinned_taus[i] - dense.thinned_taus[i]).abs() < 1e-12,
+                "node {i}: class τ̃ {} vs dense τ̃ {}",
+                class.thinned_taus[i], dense.thinned_taus[i]
+            );
+            prop_assert!(
+                (class.collision_probs[i] - dense.collision_probs[i]).abs() < 1e-12,
+                "node {i}: class p {} vs dense p {}",
+                class.collision_probs[i], dense.collision_probs[i]
+            );
+        }
+    }
+
+    /// AIFS-thinned slot probabilities are probabilities: τ̃_c, p_c, and
+    /// the idle root all stay in [0, 1], τ̃_c never exceeds τ_c, and the
+    /// slot-state probabilities partition unity.
+    #[test]
+    fn edca_thinned_probabilities_stay_in_unit_interval(
+        picks in prop::collection::vec(0usize..5, 1..=48),
+        mode in any_mode(),
+    ) {
+        use macgame_dcf::{edca_slot_stats, solve_edca, EdcaProfile};
+        let p = params(mode);
+        let palette = edca_palette(p.max_backoff_stage());
+        let tuples: Vec<_> = picks.iter().map(|&i| palette[i]).collect();
+        let (profile, _) = EdcaProfile::from_tuples(&tuples).unwrap();
+        let eq = solve_edca(&profile, &p, SolveOptions::default()).unwrap();
+        prop_assert!((0.0..=1.0).contains(&eq.idle_root), "q = {}", eq.idle_root);
+        for c in 0..profile.num_classes() {
+            prop_assert!((0.0..=1.0).contains(&eq.taus[c]));
+            prop_assert!((0.0..=1.0).contains(&eq.thinned_taus[c]));
+            prop_assert!((0.0..=1.0).contains(&eq.collision_probs[c]));
+            prop_assert!(eq.thinned_taus[c] <= eq.taus[c] + 1e-15,
+                "thinning must not amplify: τ̃ {} > τ {}", eq.thinned_taus[c], eq.taus[c]);
+        }
+        let stats = edca_slot_stats(&profile, &eq, &p);
+        let total = stats.idle_rate + stats.success_rate() + stats.collision_rate;
+        prop_assert!((total - 1.0).abs() < 1e-9, "slot states must partition: {total}");
+    }
+
+    /// At equal AIFS the thinned process degrades to the baseline: every
+    /// τ̃_c equals τ_c exactly, regardless of the common AIFS value, and a
+    /// fully degenerate profile (ambient stage cap, unit TXOP) solves
+    /// bitwise-identically to the scalar solver.
+    #[test]
+    fn edca_equal_aifs_degrades_to_baseline(
+        picks in prop::collection::vec(0usize..5, 2..=32),
+        aifs in 0u32..8,
+        mode in any_mode(),
+    ) {
+        use macgame_dcf::{solve_edca, EdcaProfile, EdcaTuple};
+        const WINDOWS: [u32; 5] = [4, 32, 76, 150, 512];
+        const TXOPS: [u32; 5] = [4, 1, 2, 1, 8];
+        let p = params(mode);
+        let m = p.max_backoff_stage();
+        // Same common AIFS everywhere, mixed TXOP: τ̃ must equal τ exactly.
+        let mixed: Vec<EdcaTuple> = picks
+            .iter()
+            .map(|&i| EdcaTuple::new(WINDOWS[i], m, aifs, TXOPS[i]).unwrap())
+            .collect();
+        let (profile, _) = EdcaProfile::from_tuples(&mixed).unwrap();
+        let eq = solve_edca(&profile, &p, SolveOptions::default()).unwrap();
+        prop_assert_eq!(&eq.taus, &eq.thinned_taus, "equal AIFS must not thin");
+
+        // Degenerate tuples (common AIFS, unit TXOP, ambient stage cap)
+        // must reproduce the scalar solver bitwise.
+        let degenerate: Vec<EdcaTuple> = picks
+            .iter()
+            .map(|&i| EdcaTuple::new(WINDOWS[i], m, aifs, 1).unwrap())
+            .collect();
+        let windows: Vec<u32> = picks.iter().map(|&i| WINDOWS[i]).collect();
+        let (profile, assignment) = EdcaProfile::from_tuples(&degenerate).unwrap();
+        let edca = solve_edca(&profile, &p, SolveOptions::default())
+            .unwrap()
+            .expand(&assignment);
+        let scalar = solve(&windows, &p, SolveOptions::default()).unwrap();
+        prop_assert_eq!(&edca.taus, &scalar.taus, "degenerate τ must be bitwise");
+        prop_assert_eq!(&edca.thinned_taus, &scalar.taus);
+        prop_assert_eq!(&edca.collision_probs, &scalar.collision_probs);
+    }
+}
+
+/// Degenerate EDCA tuples solve bitwise-identically to the scalar solver
+/// on the paper's Table II/III fixture profiles.
+#[test]
+fn edca_degenerate_bitwise_on_table_fixtures() {
+    use macgame_dcf::{solve_edca, EdcaProfile, EdcaTuple};
+    let fixtures: [(AccessMode, &[&[u32]]); 2] = [
+        (
+            AccessMode::Basic,
+            &[&[32; 5], &[76; 5], &[76; 10], &[128; 20], &[16, 48, 96, 192]],
+        ),
+        (AccessMode::RtsCts, &[&[48; 8], &[8, 48, 48, 256]]),
+    ];
+    for (mode, profiles) in fixtures {
+        let p = params(mode);
+        for windows in profiles {
+            let tuples: Vec<EdcaTuple> =
+                windows.iter().map(|&w| EdcaTuple::legacy(w, &p).unwrap()).collect();
+            let (profile, assignment) = EdcaProfile::from_tuples(&tuples).unwrap();
+            assert!(profile.is_degenerate(&p));
+            let edca = solve_edca(&profile, &p, SolveOptions::default())
+                .unwrap()
+                .expand(&assignment);
+            let scalar = solve(windows, &p, SolveOptions::default()).unwrap();
+            assert_eq!(edca.taus, scalar.taus, "{mode:?} {windows:?}");
+            assert_eq!(edca.thinned_taus, scalar.taus, "{mode:?} {windows:?}");
+            assert_eq!(edca.collision_probs, scalar.collision_probs, "{mode:?} {windows:?}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

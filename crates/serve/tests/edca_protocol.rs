@@ -1,0 +1,106 @@
+//! EDCA queries over the wire: the serve layer must route tuple-bearing
+//! `EdcaWcStar` payloads like any other query — structured errors for
+//! out-of-range bursts and malformed JSON, never a panic, and the
+//! degenerate burst answered bitwise-identically to `WcStar`.
+
+use macgame_core::queries::{Query, QueryResult};
+use macgame_dcf::AccessMode;
+use macgame_serve::frame::write_frame;
+use macgame_serve::{ErrorKind, Reply, ServeHarness};
+
+fn harness() -> ServeHarness {
+    ServeHarness::new().unwrap()
+}
+
+#[test]
+fn edca_wc_star_round_trips_through_the_wire() {
+    let h = harness();
+    let queries = vec![
+        Query::EdcaWcStar { players: 5, mode: AccessMode::Basic, txop: 1, w_max: 512 },
+        Query::WcStar { players: 5, mode: AccessMode::Basic, w_max: 512 },
+        Query::EdcaWcStar { players: 5, mode: AccessMode::Basic, txop: 4, w_max: 512 },
+    ];
+    let replies = h.query_batch(&queries).unwrap();
+    assert_eq!(replies.len(), 3);
+    let Reply::Ok { result: QueryResult::EdcaWcStar { window: w1, utility: u1, txop: 1 }, .. } =
+        &replies[0]
+    else {
+        panic!("expected an EdcaWcStar result: {:?}", replies[0]);
+    };
+    let Reply::Ok { result: QueryResult::WcStar { window, utility }, .. } = &replies[1] else {
+        panic!("expected a WcStar result: {:?}", replies[1]);
+    };
+    // The degenerate burst answers bitwise like the scalar query.
+    assert_eq!(w1, window);
+    assert_eq!(u1.to_bits(), utility.to_bits());
+    let Reply::Ok { result: QueryResult::EdcaWcStar { utility: u4, txop: 4, .. }, .. } =
+        &replies[2]
+    else {
+        panic!("expected a burst EdcaWcStar result: {:?}", replies[2]);
+    };
+    assert!(u4 > u1, "burst optimum must beat the single-frame optimum");
+}
+
+#[test]
+fn out_of_range_bursts_get_structured_errors_not_panics() {
+    let h = harness();
+    let queries = vec![
+        Query::EdcaWcStar { players: 5, mode: AccessMode::Basic, txop: 0, w_max: 512 },
+        Query::EdcaWcStar { players: 5, mode: AccessMode::Basic, txop: 65, w_max: 512 },
+        Query::EdcaWcStar { players: 5, mode: AccessMode::Basic, txop: 2, w_max: 512 },
+    ];
+    let replies = h.query_batch(&queries).unwrap();
+    assert_eq!(replies.len(), 3);
+    for (i, reply) in replies.iter().take(2).enumerate() {
+        let Reply::Error { id, error } = reply else {
+            panic!("bad burst {i} must yield an error reply: {reply:?}");
+        };
+        assert_eq!(*id, Some(i as u64 + 1));
+        assert_eq!(error.kind, ErrorKind::Evaluation);
+        assert!(!error.message.is_empty());
+    }
+    // The connection keeps serving: the valid neighbor still succeeds.
+    assert!(replies[2].is_ok());
+}
+
+#[test]
+fn malformed_tuple_payloads_cannot_wedge_the_stream() {
+    // Hand-written JSON with type-level damage serde must reject: a
+    // negative burst, a string burst, and a missing field. Each arrives
+    // in its own frame; a valid EDCA query follows to prove the stream
+    // resynchronized.
+    let h = harness();
+    let bad_payloads = [
+        br#"{"requests":[{"id":1,"query":{"EdcaWcStar":{"players":5,"mode":"Basic","txop":-3,"w_max":512}}}]}"#.as_slice(),
+        br#"{"requests":[{"id":2,"query":{"EdcaWcStar":{"players":5,"mode":"Basic","txop":"four","w_max":512}}}]}"#.as_slice(),
+        br#"{"requests":[{"id":3,"query":{"EdcaWcStar":{"players":5,"mode":"Basic"}}}]}"#.as_slice(),
+    ];
+    let mut wire = Vec::new();
+    for payload in bad_payloads {
+        write_frame(&mut wire, payload).unwrap();
+    }
+    let good =
+        vec![Query::EdcaWcStar { players: 3, mode: AccessMode::RtsCts, txop: 2, w_max: 256 }];
+    wire.extend_from_slice(&ServeHarness::encode_batch(&good).unwrap());
+    let out = h.roundtrip_raw(&wire).unwrap();
+    let replies = ServeHarness::decode_replies(&out).unwrap();
+    assert_eq!(replies.len(), bad_payloads.len() + 1);
+    for reply in &replies[..bad_payloads.len()] {
+        let Reply::Error { id, error } = reply else {
+            panic!("malformed payload must yield an error reply: {reply:?}");
+        };
+        assert_eq!(*id, None, "no request id is recoverable from a bad batch");
+        assert_eq!(error.kind, ErrorKind::MalformedJson);
+    }
+    assert!(replies[bad_payloads.len()].is_ok(), "stream must stay usable");
+}
+
+#[test]
+fn edca_replies_are_deterministic_across_connections() {
+    let queries =
+        vec![Query::EdcaWcStar { players: 8, mode: AccessMode::Basic, txop: 4, w_max: 1024 }];
+    let wire = ServeHarness::encode_batch(&queries).unwrap();
+    let a = harness().roundtrip_raw(&wire).unwrap();
+    let b = harness().roundtrip_raw(&wire).unwrap();
+    assert_eq!(a, b, "same wire bytes in, same wire bytes out");
+}

@@ -116,6 +116,8 @@ pub fn replicate_threads(
                 .utility(*config.utility())
                 .windows(config.windows().to_vec())
                 .traffic(config.traffic())
+                .aifs(config.aifs().to_vec())
+                .txop(config.txop().to_vec())
                 .seed(seed)
                 .build()?;
             Ok(Engine::new(&rc).run_slots(slots))

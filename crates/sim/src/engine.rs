@@ -96,6 +96,16 @@ pub struct Engine {
     arrivals: Vec<u64>,
     last_slot_duration: MicroSecs,
     faults: Option<FaultState>,
+    /// Per-node AIFS defer distances `d_i` (slots of consecutive idle
+    /// beyond the baseline a node must observe before contending). All
+    /// zeros for legacy configs, making the EDCA gate a no-op.
+    defers: Vec<u32>,
+    /// Per-node TXOP burst lengths in frames. All ones for legacy
+    /// configs, making every success a plain `T_s`.
+    txop: Vec<u32>,
+    /// Consecutive idle slots observed so far (reset by any busy slot):
+    /// the shared state the AIFS gate compares `d_i` against.
+    idle_streak: u64,
 }
 
 impl Engine {
@@ -120,6 +130,9 @@ impl Engine {
             arrivals: vec![0; n],
             last_slot_duration: config.params().sigma(),
             faults: None,
+            defers: config.aifs_defers(),
+            txop: config.txop_bursts(),
+            idle_streak: 0,
         }
     }
 
@@ -286,7 +299,11 @@ impl Engine {
         }
         self.transmit_buffer.clear();
         for (i, node) in self.nodes.iter().enumerate() {
-            if node.wants_to_transmit()
+            // EDCA AIFS gate: a deferring node contends only once it has
+            // observed at least `d_i` consecutive idle slots. With all
+            // defers zero (legacy DCF) the comparison is always true.
+            if self.idle_streak >= u64::from(self.defers[i])
+                && node.wants_to_transmit()
                 && (self.config.traffic().is_saturated() || self.queues[i] > 0)
             {
                 self.transmit_buffer.push(i);
@@ -323,13 +340,16 @@ impl Engine {
                 _ => {}
             }
         }
-        // A corrupted lone frame and a captured frame both occupy the
-        // channel for a full successful transmission.
+        // A successful access occupies the channel for its holder's TXOP
+        // burst (plain `T_s` at the single-frame default). A corrupted
+        // lone frame occupies a plain success duration only: the first
+        // frame of the burst is lost, and with it the TXOP.
         let duration = match outcome {
             SlotOutcome::Idle => self.config.params().sigma(),
-            SlotOutcome::Success { .. }
-            | SlotOutcome::ChannelError { .. }
-            | SlotOutcome::Capture { .. } => timings.success_time,
+            SlotOutcome::Success { node } | SlotOutcome::Capture { winner: node, .. } => {
+                self.config.params().txop_success_time(self.txop[node])
+            }
+            SlotOutcome::ChannelError { .. } => timings.success_time,
             SlotOutcome::Collision { .. } => timings.collision_time,
         };
         self.clock += duration;
@@ -364,10 +384,17 @@ impl Engine {
         let saturated = self.config.traffic().is_saturated();
         for (i, node) in self.nodes.iter_mut().enumerate() {
             let active = saturated || self.queues[i] > 0;
-            if active && !self.transmit_buffer.contains(&i) && !node.wants_to_transmit() {
+            // The AIFS gate freezes a deferring node's backoff counter
+            // too: the countdown only runs in slots the node was
+            // eligible to contend in (802.11e AIFS semantics).
+            let eligible = self.idle_streak >= u64::from(self.defers[i]);
+            if active && eligible && !self.transmit_buffer.contains(&i) && !node.wants_to_transmit()
+            {
                 node.observe_slot();
             }
         }
+        self.idle_streak =
+            if matches!(outcome, SlotOutcome::Idle) { self.idle_streak + 1 } else { 0 };
         self.last_slot_duration = duration;
         self.total_slots += 1;
         outcome
@@ -603,6 +630,86 @@ mod tests {
         let r = e.run_slots(10_000);
         assert_eq!(r.node_stats[0].collisions, 0);
         assert_eq!(r.channel.collision, 0);
+    }
+
+    #[test]
+    fn default_edca_fields_are_bitwise_identical_to_legacy() {
+        // Explicit all-baseline AIFS/TXOP profiles must not perturb the
+        // slot process at all: no extra RNG draws, same outcomes, same
+        // clock — the legacy engine is the degenerate EDCA engine.
+        let plain_config = SimConfig::builder().symmetric(5, 32).seed(21).build().unwrap();
+        let edca_config = SimConfig::builder()
+            .symmetric(5, 32)
+            .aifs(vec![3; 5])
+            .txop(vec![1; 5])
+            .seed(21)
+            .build()
+            .unwrap();
+        let mut plain = Engine::new(&plain_config);
+        let mut edca = Engine::new(&edca_config);
+        for _ in 0..5_000 {
+            assert_eq!(plain.step(), edca.step());
+        }
+        assert_eq!(plain.clock(), edca.clock());
+        let ra = plain.run_slots(20_000);
+        let rb = edca.run_slots(20_000);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn aifs_defer_thins_the_deferring_node() {
+        // Same windows; node 3 defers 2 idle slots. It must attempt less
+        // often than its equal-window peers, and strictly less than it
+        // would in the equal-AIFS network.
+        let base = SimConfig::builder().symmetric(4, 32).seed(9).build().unwrap();
+        let cfg = SimConfig::builder()
+            .symmetric(4, 32)
+            .aifs(vec![0, 0, 0, 2])
+            .seed(9)
+            .build()
+            .unwrap();
+        let rb = Engine::new(&base).run_slots(200_000);
+        let rd = Engine::new(&cfg).run_slots(200_000);
+        assert!(
+            rd.tau_hat(3) < 0.8 * rd.tau_hat(0),
+            "deferring node τ̂ {} vs peer τ̂ {}",
+            rd.tau_hat(3),
+            rd.tau_hat(0)
+        );
+        assert!(rd.tau_hat(3) < rb.tau_hat(3));
+        // The favored nodes see less contention than at equal AIFS.
+        assert!(rd.p_hat(0) < rb.p_hat(0));
+    }
+
+    #[test]
+    fn txop_bursts_extend_successful_slots_only() {
+        let p = DcfParams::default();
+        let cfg = SimConfig::builder()
+            .symmetric(3, 32)
+            .txop(vec![4, 1, 1])
+            .seed(13)
+            .build()
+            .unwrap();
+        let mut e = Engine::new(&cfg);
+        let mut expect = 0.0f64;
+        let t = p.timings();
+        for _ in 0..50_000 {
+            let outcome = e.step();
+            expect += match outcome {
+                SlotOutcome::Idle => p.sigma().value(),
+                SlotOutcome::Success { node } | SlotOutcome::Capture { winner: node, .. } => {
+                    p.txop_success_time(if node == 0 { 4 } else { 1 }).value()
+                }
+                SlotOutcome::ChannelError { .. } => t.success_time.value(),
+                SlotOutcome::Collision { .. } => t.collision_time.value(),
+            };
+        }
+        assert!((e.clock().value() - expect).abs() < 1e-6);
+        // The burst does not change contention: τ̂ is window-driven, so
+        // all three equal-window nodes attempt at similar rates.
+        let r = Engine::new(&cfg).run_slots(200_000);
+        let rel = (r.tau_hat(0) - r.tau_hat(1)).abs() / r.tau_hat(1);
+        assert!(rel < 0.1, "τ̂₀ {} vs τ̂₁ {}", r.tau_hat(0), r.tau_hat(1));
     }
 
     #[test]

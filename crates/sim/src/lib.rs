@@ -61,6 +61,7 @@ pub use report::{ChannelCounts, StageReport};
 pub use trace::{Trace, TraceEvent};
 pub use traffic::TrafficModel;
 pub use validation::{
-    relative_error, validate_fixed_point, validate_fixed_point_sweep, QuantitySweep,
+    relative_error, validate_edca_sweep, validate_fixed_point, validate_fixed_point_sweep,
+    QuantitySweep,
     SweepReport, ValidationReport, ValidationRow,
 };

@@ -7,7 +7,7 @@
 
 use macgame_dcf::fixedpoint::{solve, SolveOptions};
 use macgame_dcf::throughput::normalized_throughput;
-use macgame_dcf::{DcfParams, UtilityParams};
+use macgame_dcf::{edca_throughput, solve_edca, DcfParams, EdcaProfile, EdcaTuple, UtilityParams};
 use serde::{Deserialize, Serialize};
 
 use crate::batch::{replicate_threads, Summary};
@@ -275,6 +275,84 @@ pub fn validate_fixed_point_sweep(
     })
 }
 
+/// Replicated analytics-vs-simulation comparison for an EDCA tuple
+/// profile: the EDCA analog of [`validate_fixed_point_sweep`], comparing
+/// the slot engine's measured `τ̂`, `p̂`, and TXOP-weighted `Ŝ` against
+/// the AIFS-thinned fixed point of [`macgame_dcf::solve_edca`].
+///
+/// Predictions are the *thinned* attempt rates `τ̃_c = τ_c·q^{d_c}` —
+/// exactly what a per-slot attempt counter measures for a deferring node
+/// — and the measured throughput credits every frame of a TXOP burst:
+/// `Ŝ = Σ_i n_{s,i}·K_i·T_P / t`.
+///
+/// Seeding and fan-out go through [`replicate_threads`], so the report is
+/// bitwise thread-count invariant.
+///
+/// # Errors
+///
+/// Propagates configuration and solver failures. The slot engine draws
+/// every node's backoff chain from the ambient
+/// [`DcfParams::max_backoff_stage`], so tuples with any other
+/// `stage_cap` are rejected as invalid configs.
+pub fn validate_edca_sweep(
+    tuples: &[EdcaTuple],
+    params: &DcfParams,
+    slots: u64,
+    replications: usize,
+    base_seed: u64,
+    threads: usize,
+) -> Result<SweepReport, SimError> {
+    if tuples.iter().any(|t| t.stage_cap != params.max_backoff_stage()) {
+        return Err(SimError::InvalidConfig(format!(
+            "the slot engine uses the ambient stage cap m = {}; per-tuple caps are analytic-only",
+            params.max_backoff_stage()
+        )));
+    }
+    let (profile, assignment) = EdcaProfile::from_tuples(tuples)?;
+    let class_eq = solve_edca(&profile, params, SolveOptions::default())?;
+    let throughput_predicted = edca_throughput(&profile, &class_eq, params);
+    let eq = class_eq.expand(&assignment);
+    let windows: Vec<u32> = tuples.iter().map(|t| t.cw_min).collect();
+    let bursts: Vec<u32> = tuples.iter().map(|t| t.txop).collect();
+    let config = SimConfig::builder()
+        .params(*params)
+        .utility(UtilityParams::default())
+        .windows(windows.clone())
+        .aifs(tuples.iter().map(|t| t.aifs).collect())
+        .txop(bursts.clone())
+        .seed(base_seed)
+        .build()?;
+    let reports = replicate_threads(&config, slots, replications, base_seed, threads)?;
+    let per_node = |f: &dyn Fn(&crate::report::StageReport, usize) -> f64,
+                    predicted: &[f64]| {
+        (0..tuples.len())
+            .map(|i| QuantitySweep {
+                predicted: predicted[i],
+                estimate: Summary::of(
+                    &reports.iter().map(|r| f(r, i)).collect::<Vec<f64>>(),
+                ),
+            })
+            .collect::<Vec<QuantitySweep>>()
+    };
+    let taus = per_node(&|r, i| r.tau_hat(i), &eq.thinned_taus);
+    let collision_probs = per_node(&|r, i| r.p_hat(i), &eq.collision_probs);
+    let payload = params.payload_time().value();
+    let measured_s = |r: &crate::report::StageReport| -> f64 {
+        let frames: f64 = r
+            .node_stats
+            .iter()
+            .zip(&bursts)
+            .map(|(s, &k)| s.successes as f64 * f64::from(k))
+            .sum();
+        frames * payload / r.elapsed.value()
+    };
+    let throughput = QuantitySweep {
+        predicted: throughput_predicted,
+        estimate: Summary::of(&reports.iter().map(measured_s).collect::<Vec<f64>>()),
+    };
+    Ok(SweepReport { windows, slots, replications, taus, collision_probs, throughput })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,5 +480,74 @@ mod tests {
         let params = DcfParams::default();
         assert!(validate_fixed_point_sweep(&[], &params, 100, 2, 0, 1).is_err());
         assert!(validate_fixed_point_sweep(&[32; 2], &params, 100, 0, 0, 1).is_err());
+    }
+
+    fn legacy_tuples(windows: &[u32], params: &DcfParams) -> Vec<EdcaTuple> {
+        windows.iter().map(|&w| EdcaTuple::legacy(w, params).unwrap()).collect()
+    }
+
+    #[test]
+    fn edca_sweep_with_heterogeneous_aifs_tracks_analytics() {
+        let params = DcfParams::default();
+        let mut tuples = legacy_tuples(&[76; 5], &params);
+        tuples[4].aifs = 1;
+        let report = validate_edca_sweep(&tuples, &params, 120_000, 4, 31, 0).unwrap();
+        assert!(report.max_tau_error() < 0.10, "τ error {}", report.max_tau_error());
+        assert!(report.max_p_error() < 0.20, "p error {}", report.max_p_error());
+        assert!(
+            report.throughput_relative_error() < 0.10,
+            "S error {}",
+            report.throughput_relative_error()
+        );
+        // The deferring node's predicted (thinned) rate is below its
+        // peers', and the measurement resolves the gap.
+        assert!(report.taus[4].predicted < report.taus[0].predicted);
+        assert!(report.taus[4].estimate.mean < report.taus[0].estimate.mean);
+    }
+
+    #[test]
+    fn edca_sweep_with_txop_bursts_tracks_analytics() {
+        let params = DcfParams::default();
+        let mut tuples = legacy_tuples(&[76; 5], &params);
+        for t in &mut tuples {
+            t.txop = 4;
+        }
+        let report = validate_edca_sweep(&tuples, &params, 120_000, 4, 37, 0).unwrap();
+        assert!(report.max_tau_error() < 0.10, "τ error {}", report.max_tau_error());
+        assert!(
+            report.throughput_relative_error() < 0.10,
+            "S error {}",
+            report.throughput_relative_error()
+        );
+        // Four-frame bursts amortize contention overhead (idle slots,
+        // collisions, per-access headers) over more payload, pushing
+        // efficiency measurably above the single-frame ceiling.
+        let single = validate_fixed_point_sweep(&[76; 5], &params, 60_000, 2, 37, 0).unwrap();
+        assert!(
+            report.throughput.predicted > 1.05 * single.throughput.predicted,
+            "burst S {} vs single S {}",
+            report.throughput.predicted,
+            single.throughput.predicted
+        );
+    }
+
+    #[test]
+    fn edca_sweep_is_thread_count_invariant() {
+        let params = DcfParams::default();
+        let mut tuples = legacy_tuples(&[64; 4], &params);
+        tuples[0].txop = 2;
+        tuples[3].aifs = 1;
+        let a = validate_edca_sweep(&tuples, &params, 30_000, 4, 11, 1).unwrap();
+        let b = validate_edca_sweep(&tuples, &params, 30_000, 4, 11, 4).unwrap();
+        assert_eq!(a, b, "EDCA sweep must not depend on the worker count");
+    }
+
+    #[test]
+    fn edca_sweep_rejects_per_tuple_stage_caps() {
+        let params = DcfParams::default();
+        let mut tuples = legacy_tuples(&[64; 3], &params);
+        tuples[1].stage_cap = 2;
+        assert!(validate_edca_sweep(&tuples, &params, 100, 2, 0, 1).is_err());
+        assert!(validate_edca_sweep(&[], &params, 100, 2, 0, 1).is_err());
     }
 }

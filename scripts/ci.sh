@@ -27,6 +27,13 @@ MACGAME_THREADS=2 cargo run --release -p macgame-bench --bin repro -- robustness
 cmp artifacts/ROBUSTNESS.threads1.json artifacts/ROBUSTNESS.json
 rm artifacts/ROBUSTNESS.threads1.json
 
+echo "==> EDCA strategy space (repro -- edca --quick, thread-invariance check)"
+MACGAME_THREADS=1 cargo run --release -p macgame-bench --bin repro -- edca --quick
+cp artifacts/EDCA.json artifacts/EDCA.threads1.json
+MACGAME_THREADS=2 cargo run --release -p macgame-bench --bin repro -- edca --quick
+cmp artifacts/EDCA.threads1.json artifacts/EDCA.json
+rm artifacts/EDCA.threads1.json
+
 echo "==> solver benchmark trajectory (repro -- bench-solver --quick)"
 cargo run --release -p macgame-bench --bin repro -- bench-solver --quick
 
