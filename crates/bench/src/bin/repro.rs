@@ -10,8 +10,8 @@
 
 use macgame_bench::render::{text_table, write_artifact, write_raw_artifact};
 use macgame_bench::{
-    deviation_exp, edca_exp, extensions_exp, figures, multihop_exp, profile_exp, robustness_exp,
-    search_exp, tables, BenchError,
+    detect_exp, deviation_exp, edca_exp, extensions_exp, figures, multihop_exp, profile_exp,
+    robustness_exp, search_exp, tables, BenchError,
 };
 use macgame_conformance::{run_conformance, ConformanceSettings};
 use macgame_dcf::{AccessMode, MicroSecs};
@@ -30,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "convergence",
     "delay",
     "edca",
+    "detect",
     "ratecontrol",
     "tournament",
     "validate",
@@ -78,6 +79,7 @@ fn main() {
             "convergence" => convergence(),
             "delay" => delay(),
             "edca" => edca(quick),
+            "detect" => detect(quick),
             "ratecontrol" => ratecontrol(),
             "tournament" => tournament(),
             "validate" => validate(quick),
@@ -484,6 +486,96 @@ fn edca(quick: bool) -> Result<(), BenchError> {
     if !consistent {
         return Err(BenchError::Game(macgame_core::GameError::InvalidConfig(
             "EDCA degenerate tuples diverged from the scalar Table II scan".into(),
+        )));
+    }
+    Ok(())
+}
+
+fn detect(quick: bool) -> Result<(), BenchError> {
+    let settings =
+        if quick { detect_exp::DetectSettings::quick() } else { detect_exp::DetectSettings::full() };
+    println!(
+        "detection plane: ROC sweeps under observation faults + adversarial \
+         tournament ({} ROC trials/cell, {} arena reps/pair)",
+        2 * settings.replications,
+        settings.arena_repetitions
+    );
+    let payload = detect_exp::run_detect(&settings)?;
+    println!(
+        "defending W_c* = {} against a W = {} undercutter (n = {})",
+        payload.w_star, payload.w_selfish, payload.settings.n
+    );
+
+    println!("windowed-detector ROC over the fault grid:");
+    let mut body = Vec::new();
+    for curve in &payload.windowed_roc {
+        for point in &curve.points {
+            body.push(vec![
+                curve.cell.label(),
+                format!("{:.2}", point.threshold),
+                format!("{:.3}", point.fp_rate),
+                format!("{:.3}", point.fn_rate),
+            ]);
+        }
+    }
+    println!("{}", text_table(&["fault cell", "θ", "FP rate", "FN rate"], &body));
+
+    println!("CUSUM ROC (finite-sample counter noise):");
+    let body: Vec<Vec<String>> = payload
+        .cusum_roc
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.3}", p.threshold),
+                format!("{:.3}", p.fp_rate),
+                format!("{:.3}", p.fn_rate),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["h", "FP rate", "FN rate"], &body));
+
+    println!(
+        "adversarial tournament: {} matches over {} fault cells",
+        payload.arena.matches,
+        detect_exp::DetectSettings::fault_grid().len()
+    );
+    let names = &payload.arena.tournament.names;
+    let mut body = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        for j in 0..names.len() {
+            row.push(format!("{:.1}", payload.arena.tournament.scores[i][j]));
+        }
+        row.push(format!("{:.3}", payload.arena.mix.final_shares[i]));
+        row.push(if payload.arena.mix.stable[i] { "yes".into() } else { "no".into() });
+        body.push(row);
+    }
+    let mut header: Vec<String> = vec!["payoff vs →".into()];
+    header.extend(names.iter().cloned());
+    header.push("final share".into());
+    header.push("stable".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    println!("{}", text_table(&header_refs, &body));
+    println!(
+        "equilibrium mix: dominant = {}, extinct = {:?}",
+        payload.arena.mix.dominant, payload.arena.mix.extinct
+    );
+
+    let path = write_artifact("DETECT", &payload)?;
+    println!("artifact: {}", path.display());
+    println!("note: the artifact is byte-identical across MACGAME_THREADS settings");
+
+    // Structural gate: the zero-fault all-honest cell must be FP-free at
+    // every threshold in the sweep.
+    let zero_clean = payload
+        .windowed_roc
+        .iter()
+        .filter(|c| c.cell.is_zero())
+        .all(|c| c.points.iter().all(|p| p.false_positives == 0));
+    if !zero_clean {
+        return Err(BenchError::Game(macgame_core::GameError::InvalidConfig(
+            "zero-fault all-honest trials produced false positives".into(),
         )));
     }
     Ok(())

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod detect_exp;
 pub mod deviation_exp;
 pub mod edca_exp;
 pub mod extensions_exp;

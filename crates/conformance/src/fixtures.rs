@@ -1,17 +1,24 @@
 //! Deterministic builders for the golden fixtures.
 //!
 //! Each `*_golden()` function re-derives one fixture value from the
-//! analytical model alone — no randomness, no environment, no threads —
-//! so its serialization is reproducible bit-for-bit on every machine.
-//! The corresponding files live under `tests/golden/` and are refreshed
-//! with `scripts/bless.sh` (`UPDATE_GOLDEN=1`).
+//! analytical model and seeded generators alone — no entropy, no
+//! environment, no thread-count sensitivity — so its serialization is
+//! reproducible bit-for-bit on every machine. The corresponding files
+//! live under `tests/golden/` and are refreshed with `scripts/bless.sh`
+//! (`UPDATE_GOLDEN=1`).
 
+use macgame_core::detect::{
+    adversarial_round_robin, cusum_roc, windowed_roc, ArenaReport, ArenaSettings,
+    CusumRocSettings, DetectorTft, FaultCell, RocCurve, WindowedRocSettings,
+};
 use macgame_core::deviation::{
     malicious_impact, optimal_shortsighted_deviation, shortsighted_deviation, DeviationOutcome,
     MaliciousImpact,
 };
 use macgame_core::edca::{edca_axis_sweep, EdcaAxis, EdcaGainRow, EdcaStageMemo};
 use macgame_core::search::{run_search, AnalyticProbe, SearchOutcome};
+use macgame_core::strategy::Constant;
+use macgame_core::tournament::Entrant;
 use macgame_core::{efficient_ne, GameConfig};
 use macgame_dcf::fixedpoint::{solve, SolveOptions};
 use macgame_dcf::optimal::{efficient_cw_from_tau_star, ne_interval, DEFAULT_W_MAX};
@@ -34,8 +41,8 @@ pub const REACTION_STAGES: u32 = 2;
 pub const SHORTSIGHTED_DELTA: f64 = 0.9;
 
 /// Names of every golden fixture, in check order.
-pub const FIXTURE_NAMES: [&str; 6] =
-    ["fixed_point", "ne_intervals", "search", "deviation", "multihop", "edca"];
+pub const FIXTURE_NAMES: [&str; 7] =
+    ["fixed_point", "ne_intervals", "search", "deviation", "multihop", "edca", "detect"];
 
 fn basic_params() -> DcfParams {
     DcfParams::default()
@@ -371,6 +378,99 @@ pub fn edca_golden() -> Result<EdcaGolden, ConformanceError> {
     Ok(EdcaGolden { w_star, cases, gains })
 }
 
+/// The `detect` fixture: a pinned slice of the detection plane — small
+/// windowed/CUSUM ROC sweeps over two fault cells and a three-population
+/// adversarial arena — all seeded and thread-invariant, so the bytes pin
+/// detector semantics (strict comparisons, warm-up, zero-fault zero-FP)
+/// and the trial/match plans at once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectGolden {
+    /// `W_c*` of the 5-player basic game the detectors defend.
+    pub w_star: u32,
+    /// The undercutting window cheaters play in selfish trials.
+    pub w_selfish: u32,
+    /// Windowed-detector ROC curves (zero-fault and one noisy cell).
+    pub windowed: Vec<RocCurve>,
+    /// CUSUM ROC curve against finite-sample counter noise.
+    pub cusum: RocCurve,
+    /// The adversarial round robin + equilibrium-mix summary.
+    pub arena: ArenaReport,
+}
+
+/// Builds the `detect` fixture. Deliberately tiny: the workload exists to
+/// pin bytes, not to estimate error rates — `repro -- detect` owns the
+/// real sweeps.
+///
+/// # Errors
+///
+/// Propagates solver, simulator, and game-layer failures.
+pub fn detect_golden() -> Result<DetectGolden, ConformanceError> {
+    let params = basic_params();
+    let game = paper_game(5)?;
+    let w_star = efficient_ne(&game)?.window;
+    let w_selfish = (w_star / 4).max(1);
+    let cells = vec![
+        FaultCell::ZERO,
+        FaultCell { multiplicative: 0.25, additive: 2.0, stale_prob: 0.1, drop_prob: 0.1 },
+    ];
+
+    let windowed = windowed_roc(&WindowedRocSettings {
+        n: 5,
+        w_ref: w_star,
+        w_selfish,
+        w_max: game.w_max(),
+        stages: 8,
+        memory: 3,
+        slots_per_stage: 400,
+        thresholds: vec![0.3, 0.6, 0.9],
+        cells: cells.clone(),
+        replications: 2,
+        base_seed: 2007,
+        threads: 0,
+    })?;
+
+    let cusum = cusum_roc(
+        &params,
+        &CusumRocSettings {
+            n: 5,
+            w_ref: w_star,
+            w_selfish,
+            stages: 8,
+            slots_per_stage: 400,
+            allowance: 0.005,
+            thresholds: vec![0.01, 0.05],
+            replications: 2,
+            base_seed: 2007,
+            threads: 0,
+        },
+    )?;
+
+    // Validate the detector parameters once, so the factory's re-build
+    // below cannot fail.
+    DetectorTft::try_new(w_star, 3, 0.6, 4)?;
+    let entrants = vec![
+        Entrant::new("honest", move || Box::new(Constant::new(w_star))),
+        Entrant::new("selfish", move || Box::new(Constant::new(w_selfish))),
+        Entrant::new("detector-tft", move || {
+            Box::new(DetectorTft::try_new(w_star, 3, 0.6, 4).expect("validated above")) // PANIC-POLICY: parameters validated before the factory is built
+        }),
+    ];
+    let arena = adversarial_round_robin(
+        &entrants,
+        &game,
+        &ArenaSettings {
+            stages: 6,
+            repetitions: 2,
+            cells,
+            base_seed: 2007,
+            generations: 50,
+            threads: 0,
+        },
+    )?;
+
+    Ok(DetectGolden { w_star, w_selfish, windowed, cusum, arena })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +543,23 @@ mod tests {
             assert!(case.rows.iter().any(|r| (r.gain - 1.0).abs() < 1e-12), "{}", case.axis);
             assert!(case.rows.iter().any(|r| r.gain > 1.0), "{}", case.axis);
         }
+    }
+
+    #[test]
+    fn detect_fixture_is_deterministic_and_zero_fault_is_clean() {
+        let a = detect_golden().unwrap();
+        let b = detect_golden().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.windowed.len(), 2);
+        let zero = a.windowed.iter().find(|c| c.cell.is_zero()).unwrap();
+        for point in &zero.points {
+            // Exact observation of honest play can never trip the
+            // windowed rule — the structural invariant the plane rests on.
+            assert_eq!(point.false_positives, 0, "{point:?}");
+            assert_eq!(point.false_negatives, 0, "{point:?}");
+        }
+        assert_eq!(a.arena.tournament.names.len(), 3);
+        assert!((a.arena.mix.final_shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
     #[test]

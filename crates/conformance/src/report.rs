@@ -18,7 +18,7 @@ use macgame_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::fixtures::{
-    self, deviation_golden, edca_golden, fixed_point_golden, multihop_golden,
+    self, detect_golden, deviation_golden, edca_golden, fixed_point_golden, multihop_golden,
     ne_intervals_golden, search_golden,
 };
 use crate::golden::check_golden;
@@ -516,6 +516,7 @@ fn golden_claims() -> Result<Vec<Claim>, ConformanceError> {
         golden_claim(fixtures::FIXTURE_NAMES[3], &deviation_golden()?)?,
         golden_claim(fixtures::FIXTURE_NAMES[4], &multihop_golden()?)?,
         golden_claim(fixtures::FIXTURE_NAMES[5], &edca_golden()?)?,
+        golden_claim(fixtures::FIXTURE_NAMES[6], &detect_golden()?)?,
     ])
 }
 
@@ -686,6 +687,133 @@ fn edca_claims(settings: &ConformanceSettings) -> Result<Vec<Claim>, Conformance
     Ok(claims)
 }
 
+/// Gates the detection-and-enforcement plane:
+///
+/// * **zero-fault / zero-FP** — observed through an exact (zero-rate)
+///   channel, honest play holds the windowed statistic at exactly `1.0`,
+///   so no threshold in `(0, 1]` ever flags an honest node — and the
+///   blatant `W*/8` undercutter is caught at every swept threshold;
+/// * **thread invariance** — the serialized bytes of a windowed ROC
+///   sweep over a noisy fault cell, a CUSUM ROC sweep, and an
+///   adversarial arena (the three detection fan-outs) are identical at
+///   1, 2, and 8 worker threads.
+fn detect_claims(settings: &ConformanceSettings) -> Result<Vec<Claim>, ConformanceError> {
+    use macgame_core::detect::{
+        adversarial_round_robin, cusum_roc, windowed_roc, ArenaSettings, CusumRocSettings,
+        DetectorTft, FaultCell, WindowedRocSettings,
+    };
+    use macgame_core::strategy::Constant;
+    use macgame_core::tournament::Entrant;
+
+    let mut claims = Vec::new();
+
+    // Zero-fault / zero-FP: the structural invariant of the windowed rule.
+    let zero_settings = WindowedRocSettings {
+        n: 5,
+        w_ref: 64,
+        w_selfish: 8,
+        w_max: 1024,
+        stages: 8,
+        memory: 3,
+        slots_per_stage: 400,
+        thresholds: vec![0.2, 0.5, 0.9, 1.0],
+        cells: vec![FaultCell::ZERO],
+        replications: 4,
+        base_seed: settings.base_seed,
+        threads: settings.threads,
+    };
+    let zero_curves = windowed_roc(&zero_settings)?;
+    let clean = zero_curves.iter().all(|curve| {
+        curve
+            .points
+            .iter()
+            .all(|p| p.false_positives == 0 && p.false_negatives == 0)
+    });
+    let trials: usize = zero_curves
+        .first()
+        .and_then(|c| c.points.first())
+        .map_or(0, |p| p.honest_trials + p.selfish_trials);
+    claims.push(Claim::boolean(
+        "detect-zero-fault-zero-fp",
+        clean,
+        format!(
+            "exact observation: 0 FP and 0 FN over {trials} trials at θ ∈ {:?}",
+            zero_settings.thresholds
+        ),
+    ));
+
+    // Thread invariance of every detection fan-out, byte-for-byte.
+    let windowed_settings = WindowedRocSettings {
+        cells: vec![
+            FaultCell::ZERO,
+            FaultCell { multiplicative: 0.25, additive: 2.0, stale_prob: 0.1, drop_prob: 0.1 },
+        ],
+        replications: 2,
+        ..zero_settings
+    };
+    let params = DcfParams::default();
+    let cusum_settings = CusumRocSettings {
+        n: 4,
+        w_ref: 64,
+        w_selfish: 8,
+        stages: 6,
+        slots_per_stage: 800,
+        allowance: 0.01,
+        thresholds: vec![0.05, 0.2],
+        replications: 2,
+        base_seed: settings.base_seed,
+        threads: 1,
+    };
+    // Validate the detector parameters once, so the factory's re-build
+    // below cannot fail.
+    DetectorTft::try_new(64, 3, 0.6, 4)?;
+    let entrants = vec![
+        Entrant::new("honest", || Box::new(Constant::new(64))),
+        Entrant::new("selfish", || Box::new(Constant::new(8))),
+        Entrant::new("detector-tft", || {
+            Box::new(DetectorTft::try_new(64, 3, 0.6, 4).expect("validated above")) // PANIC-POLICY: parameters validated before the factory is built
+        }),
+    ];
+    let arena_game = GameConfig::builder(2).build()?;
+    let bytes_at = |threads: usize| -> Result<String, ConformanceError> {
+        let windowed = windowed_roc(&WindowedRocSettings { threads, ..windowed_settings.clone() })?;
+        let cusum = cusum_roc(&params, &CusumRocSettings { threads, ..cusum_settings.clone() })?;
+        let arena = adversarial_round_robin(
+            &entrants,
+            &arena_game,
+            &ArenaSettings {
+                stages: 6,
+                repetitions: 2,
+                cells: windowed_settings.cells.clone(),
+                base_seed: settings.base_seed,
+                generations: 50,
+                threads,
+            },
+        )?;
+        Ok(format!(
+            "{}|{}|{}",
+            serde_json::to_string(&windowed)?,
+            serde_json::to_string(&cusum)?,
+            serde_json::to_string(&arena)?
+        ))
+    };
+    let reference = bytes_at(1)?;
+    let mut invariant = true;
+    for threads in [2usize, 8] {
+        invariant &= bytes_at(threads)? == reference;
+    }
+    claims.push(Claim::boolean(
+        "detect-thread-invariance",
+        invariant,
+        format!(
+            "windowed/CUSUM ROC + arena bytes ({} chars) identical at 1, 2, and 8 workers",
+            reference.len()
+        ),
+    ));
+
+    Ok(claims)
+}
+
 /// Runs the whole gate — analytic paper-value claims, golden snapshots,
 /// and the statistical seed sweeps — and returns the assembled report.
 ///
@@ -716,6 +844,7 @@ pub fn run_conformance(
     claims.extend(class_solver_claims()?);
     claims.extend(serve_claims()?);
     claims.extend(edca_claims(settings)?);
+    claims.extend(detect_claims(settings)?);
     telemetry::counter("conformance.claims", claims.len() as u64);
     Ok(ConformanceReport {
         slots: settings.slots,
@@ -815,6 +944,19 @@ mod tests {
         assert_eq!(claims[2].name, "edca-sim-agreement");
         for c in &claims {
             assert!(c.pass, "edca claim {} failed: {}", c.name, c.detail);
+        }
+    }
+
+    #[test]
+    fn detect_claims_all_pass() {
+        let settings =
+            ConformanceSettings { slots: 20_000, replications: 3, base_seed: 2007, threads: 0 };
+        let claims = detect_claims(&settings).unwrap();
+        assert_eq!(claims.len(), 2);
+        assert_eq!(claims[0].name, "detect-zero-fault-zero-fp");
+        assert_eq!(claims[1].name, "detect-thread-invariance");
+        for c in &claims {
+            assert!(c.pass, "detect claim {} failed: {}", c.name, c.detail);
         }
     }
 }

@@ -1,0 +1,34 @@
+//! The detection-and-enforcement plane.
+//!
+//! The paper's repeated-game equilibria (Section IV) assume perfect
+//! observation of every peer's contention window. Tan & Guttag and
+//! Banchs et al. (PAPERS.md) center the real problem: deciding from
+//! *noisy* observations whether a peer is cheating, and only then
+//! punishing. This module family supplies the missing pieces:
+//!
+//! * [`sequential`] — CUSUM and windowed-threshold detectors emitting
+//!   typed [`Verdict`]s;
+//! * [`roc`] — false-positive/false-negative sweeps of those detectors
+//!   against seeded [`macgame_faults::ObservationFaults`] grids;
+//! * [`gated`] — punishment strategies ([`DetectorTft`], [`Throttle`])
+//!   whose triggers fire only on a verdict;
+//! * [`arena`] — adversarial round-robin tournaments of honest /
+//!   selfish / short-sighted / detector populations under imperfect
+//!   observation, with a replicator-dynamics equilibrium-mix summary.
+//!
+//! Everything here follows the workspace determinism discipline: trial
+//! and match plans are fixed, seeds are derived per unit of work, and
+//! fan-out uses order-preserving fixed-size chunks — results are
+//! bitwise invariant under `MACGAME_THREADS`.
+
+pub mod arena;
+pub mod gated;
+pub mod roc;
+pub mod sequential;
+
+pub use arena::{adversarial_round_robin, ArenaReport, ArenaSettings, MixSummary};
+pub use gated::{DetectorTft, Throttle};
+pub use roc::{
+    cusum_roc, windowed_roc, CusumRocSettings, FaultCell, RocCurve, RocPoint, WindowedRocSettings,
+};
+pub use sequential::{CusumDetector, Verdict, WindowedDetector};

@@ -19,7 +19,7 @@ use macgame_telemetry as telemetry;
 use macgame_dcf::fixedpoint::{solve_robust, SolveOptions};
 use macgame_dcf::utility::all_utilities;
 use macgame_faults::{ObservationChannel, ObservationFaults};
-use macgame_sim::{estimate_windows, Engine, SimConfig};
+use macgame_sim::{estimate_windows_partial, Engine, SimConfig};
 
 use crate::error::GameError;
 use crate::game::GameConfig;
@@ -142,22 +142,29 @@ impl StageEvaluator for SimulatedEvaluator {
         let observed_windows = if self.observe_exactly {
             windows.to_vec()
         } else {
-            match estimate_windows(
+            match estimate_windows_partial(
                 0,
                 &report,
                 self.game.params().max_backoff_stage(),
                 self.game.w_max(),
             ) {
                 Ok(estimates) => {
-                    let mut observed: Vec<u32> = estimates.iter().map(|e| e.window).collect();
+                    // Per-node degradation: a silent node this stage falls
+                    // back to its true window, without poisoning the other
+                    // nodes' estimates.
+                    let mut observed: Vec<u32> = estimates
+                        .iter()
+                        .zip(windows)
+                        .map(|(est, &true_w)| est.map_or(true_w, |e| e.window))
+                        .collect();
                     // Each player knows its own window exactly; entry 0 was
                     // the observer's. For the shared-observation abstraction
                     // we overwrite nothing else.
                     observed[0] = windows[0];
                     observed
                 }
-                // A silent node this stage: fall back to the true profile
-                // rather than fabricating estimates.
+                // Estimation itself rejected the report: fall back to the
+                // true profile rather than fabricating estimates.
                 Err(_) => windows.to_vec(),
             }
         };

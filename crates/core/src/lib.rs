@@ -32,7 +32,11 @@
 //!   802.11 performance anomaly is the externality);
 //! * [`tournament`] / [`population`] — Axelrod-style round robins and
 //!   replicator population dynamics that test TFT's "best strategy"
-//!   reputation inside this game.
+//!   reputation inside this game;
+//! * [`detect`] — the detection-and-enforcement plane: sequential
+//!   cheater detection (CUSUM + windowed threshold) over noisy
+//!   observations, ROC sweeps under fault grids, detection-gated
+//!   punishment strategies and adversarial tournaments.
 //!
 //! # Quick start
 //!
@@ -52,6 +56,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod detect;
 pub mod deviation;
 pub mod edca;
 pub mod equilibrium;

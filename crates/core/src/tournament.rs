@@ -8,6 +8,7 @@
 
 use macgame_dcf::parallel::resolve_threads;
 use macgame_telemetry as telemetry;
+use serde::{Deserialize, Serialize};
 
 use crate::error::GameError;
 use crate::evaluator::AnalyticalEvaluator;
@@ -39,6 +40,12 @@ impl Entrant {
     pub fn name(&self) -> &str {
         &self.name
     }
+
+    /// Instantiates a fresh strategy for one match.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Strategy> {
+        (self.factory)()
+    }
 }
 
 impl core::fmt::Debug for Entrant {
@@ -48,7 +55,7 @@ impl core::fmt::Debug for Entrant {
 }
 
 /// Results of a round-robin tournament.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TournamentResult {
     /// Entrant names, indexing the score matrix.
     pub names: Vec<String>,

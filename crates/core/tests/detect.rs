@@ -1,0 +1,122 @@
+//! Property-based tests of the detection plane.
+//!
+//! Two invariants the ISSUE pins down:
+//!
+//! * **zero-rate faults ⇒ zero false positives**: observed through an
+//!   exact channel, honest play holds the windowed statistic at exactly
+//!   `1.0`, so *no* threshold in `(0, 1]` can flag an honest node — for
+//!   any population, memory, seed, or threshold;
+//! * **thread invariance**: the detection statistics (ROC curves and
+//!   tournament aggregates) are bitwise identical at 1, 2, and 8 worker
+//!   threads, for any seed.
+
+use macgame_core::detect::{
+    cusum_roc, windowed_roc, CusumRocSettings, FaultCell, WindowedRocSettings,
+};
+use macgame_dcf::DcfParams;
+use proptest::prelude::*;
+
+fn windowed_settings(
+    n: usize,
+    memory: usize,
+    threshold: f64,
+    seed: u64,
+    cells: Vec<FaultCell>,
+) -> WindowedRocSettings {
+    WindowedRocSettings {
+        n,
+        w_ref: 64,
+        w_selfish: 8,
+        w_max: 1024,
+        stages: memory + 4,
+        memory,
+        slots_per_stage: 200,
+        thresholds: vec![threshold],
+        cells,
+        replications: 3,
+        base_seed: seed,
+        threads: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn zero_rate_faults_never_produce_false_positives(
+        n in 2usize..7,
+        memory in 1usize..5,
+        threshold in 0.01f64..=1.0,
+        seed in 0u64..=u64::MAX,
+    ) {
+        let curves = windowed_roc(&windowed_settings(
+            n,
+            memory,
+            threshold,
+            seed,
+            vec![FaultCell::ZERO],
+        ))
+        .unwrap();
+        for curve in &curves {
+            for point in &curve.points {
+                prop_assert_eq!(
+                    point.false_positives, 0,
+                    "honest node flagged under exact observation: {:?}", point
+                );
+                prop_assert_eq!(point.fp_rate, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_statistics_are_bitwise_thread_invariant(
+        seed in 0u64..=u64::MAX,
+        threshold in 0.1f64..=1.0,
+    ) {
+        let noisy = FaultCell {
+            multiplicative: 0.3,
+            additive: 2.0,
+            stale_prob: 0.15,
+            drop_prob: 0.15,
+        };
+        let settings =
+            windowed_settings(5, 3, threshold, seed, vec![FaultCell::ZERO, noisy]);
+        let reference =
+            serde_json::to_string(&windowed_roc(&settings).unwrap()).unwrap();
+        for threads in [2usize, 8] {
+            let pinned = WindowedRocSettings { threads, ..settings.clone() };
+            let bytes = serde_json::to_string(&windowed_roc(&pinned).unwrap()).unwrap();
+            prop_assert_eq!(&bytes, &reference, "drift at {} threads", threads);
+        }
+    }
+}
+
+proptest! {
+    // The CUSUM sweep simulates real slots, so keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn cusum_statistics_are_bitwise_thread_invariant(seed in 0u64..=u64::MAX) {
+        let params = DcfParams::default();
+        let settings = CusumRocSettings {
+            n: 3,
+            w_ref: 32,
+            w_selfish: 4,
+            stages: 4,
+            slots_per_stage: 400,
+            allowance: 0.01,
+            thresholds: vec![0.05, 0.2],
+            replications: 2,
+            base_seed: seed,
+            threads: 1,
+        };
+        let reference =
+            serde_json::to_string(&cusum_roc(&params, &settings).unwrap()).unwrap();
+        for threads in [2usize, 8] {
+            let pinned = CusumRocSettings { threads, ..settings.clone() };
+            let bytes =
+                serde_json::to_string(&cusum_roc(&params, &pinned).unwrap()).unwrap();
+            prop_assert_eq!(&bytes, &reference, "drift at {} threads", threads);
+        }
+    }
+}

@@ -56,7 +56,7 @@ pub use delay::DelayTracker;
 pub use engine::{Engine, SlotOutcome};
 pub use error::SimError;
 pub use node::{Node, NodeStats};
-pub use observe::{estimate_windows, invert_window, WindowEstimate};
+pub use observe::{estimate_windows, estimate_windows_partial, invert_window, WindowEstimate};
 pub use report::{ChannelCounts, StageReport};
 pub use trace::{Trace, TraceEvent};
 pub use traffic::TrafficModel;

@@ -23,6 +23,12 @@ pub struct WindowEstimate {
     pub tau_hat: f64,
     /// The collision probability assumed for the peer.
     pub p_hat: f64,
+    /// `true` when `tau_hat` fell outside the invertible range
+    /// `[τ(w_max, p̂), τ(1, p̂)]` and the estimate was clamped to a
+    /// boundary window. A saturated `window == 1` means "at least as
+    /// aggressive as W = 1" — detectors must not treat it as an exact
+    /// measurement.
+    pub saturated: bool,
 }
 
 /// Inverts the backoff chain: the window `Ŵ ∈ [1, w_max]` whose
@@ -60,12 +66,21 @@ pub fn invert_window(
         return Err(DcfError::invalid("w_max", "window space must be non-empty"));
     }
     let tau_of = |w: u32| transmission_probability(w, p_hat, max_backoff_stage);
-    // τ(W) strictly decreases in W: binary search the crossing.
-    if tau_of(1)? <= tau_hat {
-        return Ok(WindowEstimate { window: 1, tau_hat, p_hat });
+    // τ(W) strictly decreases in W: binary search the crossing. Rates
+    // outside [τ(w_max), τ(1)] clamp to the boundary window and are
+    // flagged `saturated` — an exact boundary hit is still invertible.
+    let tau_top = tau_of(1)?;
+    if tau_top <= tau_hat {
+        return Ok(WindowEstimate { window: 1, tau_hat, p_hat, saturated: tau_top < tau_hat });
     }
-    if tau_of(w_max)? >= tau_hat {
-        return Ok(WindowEstimate { window: w_max, tau_hat, p_hat });
+    let tau_bottom = tau_of(w_max)?;
+    if tau_bottom >= tau_hat {
+        return Ok(WindowEstimate {
+            window: w_max,
+            tau_hat,
+            p_hat,
+            saturated: tau_bottom > tau_hat,
+        });
     }
     let (mut lo, mut hi) = (1u32, w_max); // τ(lo) > tau_hat > τ(hi)
     while hi - lo > 1 {
@@ -78,7 +93,7 @@ pub fn invert_window(
     }
     let (tl, th) = (tau_of(lo)?, tau_of(hi)?);
     let window = if (tl - tau_hat).abs() <= (th - tau_hat).abs() { lo } else { hi };
-    Ok(WindowEstimate { window, tau_hat, p_hat })
+    Ok(WindowEstimate { window, tau_hat, p_hat, saturated: false })
 }
 
 /// Estimates every peer's window from a stage report, as seen by
@@ -94,13 +109,51 @@ pub fn invert_window(
 ///
 /// Returns [`DcfError::InvalidParameter`] if the report contains a node
 /// with zero observed attempts (no information to invert) — callers should
-/// measure over enough slots.
+/// measure over enough slots. Callers that can tolerate partial
+/// information should use [`estimate_windows_partial`] instead, which
+/// degrades per node rather than poisoning the whole batch.
 pub fn estimate_windows(
     observer: usize,
     report: &StageReport,
     max_backoff_stage: u32,
     w_max: u32,
 ) -> Result<Vec<WindowEstimate>, DcfError> {
+    let partial = estimate_windows_partial(observer, report, max_backoff_stage, w_max)?;
+    partial
+        .into_iter()
+        .enumerate()
+        .map(|(j, est)| {
+            est.ok_or_else(|| {
+                DcfError::invalid(
+                    "report",
+                    format!("node {j} made no attempts in the observation window"),
+                )
+            })
+        })
+        .collect()
+}
+
+/// Per-node fallible variant of [`estimate_windows`]: peers with zero
+/// observed attempts yield `None` instead of failing the whole vector, so
+/// one starved or fully-dropped peer does not destroy every other node's
+/// estimate.
+///
+/// The `p̂_j = 1 − Π_{k≠j}(1 − τ̂_k)` product is well defined for every
+/// population size: with a single peer it has one factor, and for `n = 1`
+/// (no peers at all) the empty product gives `p̂ = 0`. Zero-attempt nodes
+/// contribute `τ̂_k = 0` to the channel estimate, which is exactly what
+/// the observer measured for them.
+///
+/// # Errors
+///
+/// Returns [`DcfError::InvalidParameter`] only if `observer` is out of
+/// range or the window inversion itself rejects its inputs.
+pub fn estimate_windows_partial(
+    observer: usize,
+    report: &StageReport,
+    max_backoff_stage: u32,
+    w_max: u32,
+) -> Result<Vec<Option<WindowEstimate>>, DcfError> {
     let n = report.node_count();
     if observer >= n {
         return Err(DcfError::invalid("observer", "index out of range"));
@@ -109,18 +162,17 @@ pub fn estimate_windows(
     let mut out = Vec::with_capacity(n);
     for j in 0..n {
         if j == observer {
-            out.push(WindowEstimate {
+            out.push(Some(WindowEstimate {
                 window: report.windows[j],
                 tau_hat: taus[j],
                 p_hat: report.p_hat(j),
-            });
+                saturated: false,
+            }));
             continue;
         }
         if report.node_stats[j].attempts == 0 {
-            return Err(DcfError::invalid(
-                "report",
-                format!("node {j} made no attempts in the observation window"),
-            ));
+            out.push(None);
+            continue;
         }
         let p_hat: f64 = 1.0
             - taus
@@ -129,7 +181,12 @@ pub fn estimate_windows(
                 .filter(|&(k, _)| k != j)
                 .map(|(_, &t)| 1.0 - t)
                 .product::<f64>();
-        out.push(invert_window(taus[j], p_hat.clamp(0.0, 1.0 - 1e-9), max_backoff_stage, w_max)?);
+        out.push(Some(invert_window(
+            taus[j],
+            p_hat.clamp(0.0, 1.0 - 1e-9),
+            max_backoff_stage,
+            w_max,
+        )?));
     }
     Ok(out)
 }
@@ -139,8 +196,10 @@ mod tests {
     use super::*;
     use crate::config::SimConfig;
     use crate::engine::Engine;
+    use crate::node::NodeStats;
+    use crate::report::ChannelCounts;
     use macgame_dcf::fixedpoint::solve_symmetric;
-    use macgame_dcf::DcfParams;
+    use macgame_dcf::{DcfParams, MicroSecs};
 
     #[test]
     fn inversion_round_trips_exact_tau() {
@@ -155,10 +214,38 @@ mod tests {
 
     #[test]
     fn inversion_clamps_at_bounds() {
-        let est = invert_window(0.9999, 0.0, 5, 1024).unwrap();
+        // τ(1, 0.1) < 1, so a measured rate of 0.9999 is above the
+        // invertible range: clamped to W = 1 and flagged.
+        let est = invert_window(0.9999, 0.1, 5, 1024).unwrap();
         assert_eq!(est.window, 1);
+        assert!(est.saturated, "above-range rate must be marked saturated");
         let est = invert_window(1e-7, 0.0, 5, 1024).unwrap();
         assert_eq!(est.window, 1024);
+        assert!(est.saturated, "below-range rate must be marked saturated");
+        // An interior inversion is not saturated.
+        let p = DcfParams::default();
+        let sym = solve_symmetric(5, 76, &p).unwrap();
+        let est = invert_window(sym.tau, sym.collision_prob, p.max_backoff_stage(), 4096).unwrap();
+        assert!(!est.saturated);
+    }
+
+    #[test]
+    fn exact_boundary_hit_is_not_saturated() {
+        // τ̂ exactly equal to τ(1, p̂) is invertible: W = 1, no clamping.
+        let tau_top = transmission_probability(1, 0.1, 5).unwrap();
+        let est = invert_window(tau_top, 0.1, 5, 1024).unwrap();
+        assert_eq!(est.window, 1);
+        assert!(!est.saturated);
+    }
+
+    #[test]
+    fn serde_shape_includes_saturation_flag() {
+        let est = invert_window(0.9999, 0.1, 5, 1024).unwrap();
+        let json = serde_json::to_string(&est).unwrap();
+        assert!(json.contains("\"saturated\":true"), "missing saturated key in {json}");
+        assert!(json.contains("\"window\":1"), "missing window key in {json}");
+        let back: WindowEstimate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, est);
     }
 
     #[test]
@@ -193,10 +280,102 @@ mod tests {
 
     #[test]
     fn estimation_needs_observations() {
+        // The strict API still fails the whole batch on a silent peer…
         let config = SimConfig::builder().windows(vec![8, 8]).seed(3).build().unwrap();
         let mut engine = Engine::new(&config);
         let report = engine.run_slots(0);
         assert!(estimate_windows(0, &report, 5, 64).is_err());
+        // …while the partial API degrades only the silent node.
+        let partial = estimate_windows_partial(0, &report, 5, 64).unwrap();
+        assert_eq!(partial.len(), 2);
+        assert!(partial[0].is_some(), "observer's own entry is always known");
+        assert!(partial[1].is_none(), "silent peer yields None, not a batch error");
+    }
+
+    #[test]
+    fn one_silent_peer_does_not_poison_the_batch() {
+        // Three talkative nodes plus one that never transmitted: the
+        // partial API keeps the three estimates intact.
+        let report = StageReport {
+            node_stats: vec![
+                NodeStats { attempts: 120, successes: 90, collisions: 30 },
+                NodeStats { attempts: 150, successes: 110, collisions: 40 },
+                NodeStats { attempts: 0, successes: 0, collisions: 0 },
+                NodeStats { attempts: 90, successes: 70, collisions: 20 },
+            ],
+            channel: ChannelCounts { idle: 700, success: 200, collision: 100 },
+            elapsed: MicroSecs::new(1_000_000.0),
+            windows: vec![32, 32, 32, 32],
+        };
+        assert!(estimate_windows(0, &report, 5, 1024).is_err());
+        let partial = estimate_windows_partial(0, &report, 5, 1024).unwrap();
+        assert!(partial[0].is_some() && partial[1].is_some() && partial[3].is_some());
+        assert!(partial[2].is_none());
+        for est in partial.into_iter().flatten() {
+            assert!(est.p_hat.is_finite() && est.tau_hat.is_finite());
+        }
+    }
+
+    #[test]
+    fn single_node_report_has_zero_p_hat() {
+        // n = 1: no peers, so the vector is just the observer's own
+        // entry; nothing divides by zero or produces NaN.
+        let report = StageReport {
+            node_stats: vec![NodeStats { attempts: 100, successes: 100, collisions: 0 }],
+            channel: ChannelCounts { idle: 900, success: 100, collision: 0 },
+            elapsed: MicroSecs::new(1_000_000.0),
+            windows: vec![16],
+        };
+        let partial = estimate_windows_partial(0, &report, 5, 1024).unwrap();
+        assert_eq!(partial.len(), 1);
+        let own = partial[0].unwrap();
+        assert_eq!(own.window, 16);
+        assert!(own.p_hat.is_finite() && own.tau_hat.is_finite());
+        assert_eq!(own.p_hat, 0.0, "a lone node never collides");
+        let strict = estimate_windows(0, &report, 5, 1024).unwrap();
+        assert_eq!(strict[0], own);
+    }
+
+    #[test]
+    fn single_peer_product_has_one_factor() {
+        // n = 2: the peer's p̂ is exactly the observer's measured τ̂ —
+        // the Π_{k≠j} product has a single factor, never an empty or
+        // NaN-producing one.
+        let report = StageReport {
+            node_stats: vec![
+                NodeStats { attempts: 100, successes: 80, collisions: 20 },
+                NodeStats { attempts: 50, successes: 40, collisions: 10 },
+            ],
+            channel: ChannelCounts { idle: 860, success: 120, collision: 20 },
+            elapsed: MicroSecs::new(1_000_000.0),
+            windows: vec![32, 64],
+        };
+        let partial = estimate_windows_partial(0, &report, 5, 1024).unwrap();
+        let peer = partial[1].unwrap();
+        let observer_tau = report.tau_hat(0);
+        assert!((peer.p_hat - observer_tau).abs() < 1e-12);
+        assert!(peer.window >= 1 && peer.p_hat.is_finite());
+    }
+
+    #[test]
+    fn zero_slot_report_yields_no_peer_estimates_and_no_nan() {
+        // A zero-slot interval: τ̂ is 0 for everyone (guarded upstream
+        // in NodeStats::tau_hat), peers are None, observer entry finite.
+        let report = StageReport {
+            node_stats: vec![
+                NodeStats { attempts: 0, successes: 0, collisions: 0 },
+                NodeStats { attempts: 0, successes: 0, collisions: 0 },
+            ],
+            channel: ChannelCounts { idle: 0, success: 0, collision: 0 },
+            elapsed: MicroSecs::new(0.0),
+            windows: vec![8, 8],
+        };
+        let partial = estimate_windows_partial(1, &report, 5, 64).unwrap();
+        assert!(partial[0].is_none());
+        let own = partial[1].unwrap();
+        assert_eq!(own.window, 8);
+        assert_eq!(own.tau_hat, 0.0);
+        assert_eq!(own.p_hat, 0.0);
     }
 
     #[test]

@@ -34,6 +34,13 @@ MACGAME_THREADS=2 cargo run --release -p macgame-bench --bin repro -- edca --qui
 cmp artifacts/EDCA.threads1.json artifacts/EDCA.json
 rm artifacts/EDCA.threads1.json
 
+echo "==> detection plane (repro -- detect --quick, thread-invariance check)"
+MACGAME_THREADS=1 cargo run --release -p macgame-bench --bin repro -- detect --quick
+cp artifacts/DETECT.json artifacts/DETECT.threads1.json
+MACGAME_THREADS=2 cargo run --release -p macgame-bench --bin repro -- detect --quick
+cmp artifacts/DETECT.threads1.json artifacts/DETECT.json
+rm artifacts/DETECT.threads1.json
+
 echo "==> solver benchmark trajectory (repro -- bench-solver --quick)"
 cargo run --release -p macgame-bench --bin repro -- bench-solver --quick
 

@@ -6,8 +6,8 @@
 //! `UPDATE_GOLDEN=1 cargo test --test conformance_golden`).
 
 use macgame_conformance::fixtures::{
-    deviation_golden, edca_golden, fixed_point_golden, multihop_golden, ne_intervals_golden,
-    search_golden,
+    detect_golden, deviation_golden, edca_golden, fixed_point_golden, multihop_golden,
+    ne_intervals_golden, search_golden,
 };
 use macgame_conformance::golden::bless_requested;
 use macgame_conformance::{check_golden, golden_path, ConformanceError};
@@ -40,6 +40,11 @@ fn multihop_convergence_matches_golden() {
 #[test]
 fn edca_matches_golden() {
     check_golden("edca", &edca_golden().unwrap()).unwrap();
+}
+
+#[test]
+fn detect_matches_golden() {
+    check_golden("detect", &detect_golden().unwrap()).unwrap();
 }
 
 /// A perturbed solve must fail with a diff a human can act on — the
