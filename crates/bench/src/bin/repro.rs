@@ -1242,9 +1242,12 @@ fn lint() -> Result<(), BenchError> {
         .ok_or_else(|| macgame_lint::LintError::NotAWorkspace(cwd.clone()))?;
     println!(
         "workspace invariant checks: determinism (hash containers, wall \
-         clocks, entropy RNGs), panic policy, API discipline, manifests"
+         clocks, entropy RNGs), panic policy, API discipline, manifests, \
+         plus call-graph analyses (determinism taint, panic reachability, \
+         lock order)"
     );
-    let report = macgame_lint::run_lint(&root)?;
+    let workspace = macgame_lint::run_workspace(&root)?;
+    let report = &workspace.lint;
     let rows = report.table_rows();
     if !rows.is_empty() {
         println!("{}", text_table(&["rule", "location", "status", "detail"], &rows));
@@ -1260,9 +1263,38 @@ fn lint() -> Result<(), BenchError> {
         waived,
         report.unwaived().len()
     );
-    if report.is_clean() {
+
+    let analysis = &workspace.analysis;
+    println!(
+        "\ncall graph: {} fn(s), {} edge(s); {} taint root(s), {} public \
+         root(s), {} lock site(s)",
+        analysis.stats.functions,
+        analysis.stats.edges,
+        analysis.stats.taint_roots,
+        analysis.stats.public_roots,
+        analysis.stats.lock_sites,
+    );
+    let rows = analysis.table_rows();
+    if !rows.is_empty() {
+        println!("{}", text_table(&["rule", "location", "status", "detail"], &rows));
+    }
+    for finding in analysis.unwaived() {
+        println!("witness for {}:{}", finding.path, finding.line);
+        for step in &finding.witness {
+            println!("  -> {step}");
+        }
+    }
+    let path = write_raw_artifact("ANALYSIS", &analysis.to_json())?;
+    println!("artifact: {}", path.display());
+    println!(
+        "{} analysis finding(s), {} waived, {} unwaived",
+        analysis.findings.len(),
+        analysis.findings.len() - analysis.unwaived().len(),
+        analysis.unwaived().len()
+    );
+    if workspace.is_clean() {
         Ok(())
     } else {
-        Err(BenchError::LintFindings(report.unwaived().len()))
+        Err(BenchError::LintFindings(workspace.unwaived_count()))
     }
 }

@@ -1,13 +1,15 @@
 //! Standalone entry point: `cargo run -p macgame-lint [-- <root>]`.
 //!
-//! Lints the enclosing workspace (or an explicit root), prints the finding
-//! table, writes `artifacts/LINT.json` under the root, and exits nonzero
-//! on any unwaived finding — the same gate `repro -- lint` and CI apply.
+//! Runs the token lint *and* the call-graph analyses over the enclosing
+//! workspace (or an explicit root), prints both finding tables, writes
+//! `artifacts/LINT.json` and `artifacts/ANALYSIS.json` under the root,
+//! and exits nonzero on any unwaived finding — the same gate
+//! `repro -- lint` and CI apply.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use macgame_lint::{find_workspace_root, run_lint};
+use macgame_lint::{find_workspace_root, run_workspace};
 
 fn main() -> ExitCode {
     let arg_root = std::env::args().nth(1).map(PathBuf::from);
@@ -30,30 +32,53 @@ fn main() -> ExitCode {
             }
         }
     };
-    let report = match run_lint(&root) {
+    let report = match run_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("macgame-lint: {e}");
             return ExitCode::from(2);
         }
     };
-    print!("{}", report.render_text());
+    print!("{}", report.lint.render_text());
+    println!(
+        "\nanalysis: {} fn(s), {} edge(s), {} taint root(s), {} public root(s), {} lock site(s)",
+        report.analysis.stats.functions,
+        report.analysis.stats.edges,
+        report.analysis.stats.taint_roots,
+        report.analysis.stats.public_roots,
+        report.analysis.stats.lock_sites,
+    );
+    for row in report.analysis.table_rows() {
+        println!("{}  {}  {}  {}", row[0], row[1], row[2], row[3]);
+    }
+    for f in report.analysis.unwaived() {
+        println!("  witness for {}:{}", f.path, f.line);
+        for step in &f.witness {
+            println!("    -> {step}");
+        }
+    }
     let artifact_dir = root.join("artifacts");
-    let artifact = artifact_dir.join("LINT.json");
-    if let Err(e) =
-        std::fs::create_dir_all(&artifact_dir).and_then(|()| std::fs::write(&artifact, report.to_json()))
-    {
-        eprintln!("macgame-lint: cannot write {}: {e}", artifact.display());
+    if let Err(e) = std::fs::create_dir_all(&artifact_dir) {
+        eprintln!("macgame-lint: cannot create {}: {e}", artifact_dir.display());
         return ExitCode::from(2);
     }
-    println!("artifact: {}", artifact.display());
+    for (name, bytes) in
+        [("LINT.json", report.lint.to_json()), ("ANALYSIS.json", report.analysis.to_json())]
+    {
+        let artifact = artifact_dir.join(name);
+        if let Err(e) = std::fs::write(&artifact, bytes) {
+            eprintln!("macgame-lint: cannot write {}: {e}", artifact.display());
+            return ExitCode::from(2);
+        }
+        println!("artifact: {}", artifact.display());
+    }
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
         eprintln!(
             "macgame-lint: {} unwaived finding(s); fix them or add a waiver with a \
              rationale to lint-allow.toml",
-            report.unwaived().len()
+            report.unwaived_count()
         );
         ExitCode::FAILURE
     }

@@ -136,19 +136,32 @@ pub fn lex(source: &str) -> LexOutput {
                     hashes += 1;
                     j += 1;
                 }
+                // A raw identifier (`r#type`) is hashes followed by an
+                // ident char, not a quote — fall through to plain idents.
                 if j < n && bytes[j] == '"' {
-                    // Raw (or plain byte) string: scan for `"` + hashes.
+                    // `b"…"` (no `r`) is an escaped byte string: `\"` does
+                    // not close it. Every `r`-prefixed form is raw: no
+                    // escapes, closed only by `"` + the right hash count.
+                    let raw = ident.as_str() != "b";
                     i = j + 1;
                     'raw: while i < n {
-                        if bytes[i] == '"' {
-                            let mut k = 0usize;
-                            while k < hashes && i + 1 + k < n && bytes[i + 1 + k] == '#' {
-                                k += 1;
+                        match bytes[i] {
+                            '\\' if !raw && i + 1 < n => {
+                                bump!(i);
+                                bump!(i);
+                                continue;
                             }
-                            if k == hashes {
-                                i += 1 + hashes;
-                                break 'raw;
+                            '"' => {
+                                let mut k = 0usize;
+                                while k < hashes && i + 1 + k < n && bytes[i + 1 + k] == '#' {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    i += 1 + hashes;
+                                    break 'raw;
+                                }
                             }
+                            _ => {}
                         }
                         bump!(i);
                     }
@@ -206,8 +219,13 @@ pub fn lex(source: &str) -> LexOutput {
         if c == '\'' {
             let start_line = line;
             if i + 1 < n && bytes[i + 1] == '\\' {
-                // Escaped char literal: consume to the closing quote.
+                // Escaped char literal: the character after the backslash
+                // is consumed unconditionally (it may itself be `'`, as in
+                // `'\''`), then scan to the closing quote.
                 i += 2;
+                if i < n {
+                    bump!(i);
+                }
                 while i < n && bytes[i] != '\'' {
                     bump!(i);
                 }
@@ -295,6 +313,66 @@ mod tests {
     fn lifetimes_do_not_eat_following_tokens() {
         let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
         assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_derail_the_stream() {
+        // `'\''` — the escaped character is itself a quote; before the fix
+        // the literal was closed at the escape and the trailing `'` opened
+        // a phantom lifetime that swallowed the next identifier.
+        let ids = idents("let q = '\\''; let real = HashMap::new();");
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1, "{ids:?}");
+        let ids = idents("match c { '\\'' => 1, '\\\\' => 2, _ => 0 }; Instant::now()");
+        assert!(ids.iter().any(|s| s == "Instant"), "{ids:?}");
+    }
+
+    #[test]
+    fn byte_strings_honor_escapes() {
+        // `b"…"` is escaped, not raw: `\"` must not close it. Before the
+        // fix the literal ended at the escaped quote and `HashMap` inside
+        // the bytes leaked into the token stream.
+        let ids = idents(r#"let b = b"a\"HashMap\""; let t = thread_rng();"#);
+        assert!(!ids.iter().any(|s| s == "HashMap"), "{ids:?}");
+        assert!(ids.iter().any(|s| s == "thread_rng"), "{ids:?}");
+    }
+
+    #[test]
+    fn raw_strings_ignore_backslashes_and_respect_hash_counts() {
+        // In raw strings the backslash is inert; `"#` with too few hashes
+        // must not close an `r##"…"##` literal.
+        let ids = idents(r####"let r = r##"tail\"# HashMap "##; let ok = Instant::now();"####);
+        assert!(!ids.iter().any(|s| s == "HashMap"), "{ids:?}");
+        assert!(ids.iter().any(|s| s == "Instant"), "{ids:?}");
+        // A raw byte string still closes on the bare quote when hashless.
+        let ids = idents(r#"let b = br"x\"; let m = HashSet::new();"#);
+        assert_eq!(ids.iter().filter(|s| *s == "HashSet").count(), 1, "{ids:?}");
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_swallowed_as_strings() {
+        let ids = idents("let r#type = 1; let b = r#match;");
+        assert!(ids.contains(&"type".to_string()), "{ids:?}");
+        assert!(ids.contains(&"match".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_terminate_correctly() {
+        let src = "/* a /* b /* c */ d */ e */ HashMap /* /*x*/ */";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["HashMap".to_string()]);
+        // Unterminated nesting swallows the rest without panicking.
+        assert!(idents("/* /* open */ still in comment HashMap").is_empty());
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate_in_generic_soup() {
+        let ids = idents("fn f<'a, 'b: 'a>(x: &'a u8) -> char { 'x' } let y: &'static str = s;");
+        assert!(ids.contains(&"char".to_string()), "{ids:?}");
+        assert!(ids.contains(&"str".to_string()), "{ids:?}");
+        // `'_'` is a char literal, `'_` alone is a lifetime.
+        let toks = lex("let c = '_'; let r: &'_ u8 = x;").tokens;
+        let lits = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert!(lits >= 2, "{toks:?}");
     }
 
     #[test]

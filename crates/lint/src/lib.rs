@@ -46,8 +46,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
+pub mod graph;
 pub mod lexer;
 pub mod manifest;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod toml;
@@ -57,6 +60,7 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub use analysis::{AnalysisConfig, AnalysisReport};
 pub use report::LintReport;
 pub use rules::{FileContext, FileKind, Finding};
 pub use waivers::WAIVER_FILE;
@@ -218,6 +222,31 @@ fn rust_files_top_level(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
     Ok(out)
 }
 
+/// Combined outcome of the token lint and the call-graph analyses over
+/// one workspace, with waivers applied across the union (an
+/// `analysis/*` waiver is not "stale" to the token pass and vice versa).
+#[derive(Debug)]
+pub struct WorkspaceReport {
+    /// Token-level findings (`LINT.json`), including waiver-file defects.
+    pub lint: LintReport,
+    /// Call-graph reachability findings (`ANALYSIS.json`).
+    pub analysis: AnalysisReport,
+}
+
+impl WorkspaceReport {
+    /// Whether both passes are clean (every finding waived).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.lint.is_clean() && self.analysis.is_clean()
+    }
+
+    /// Total unwaived findings across both passes.
+    #[must_use]
+    pub fn unwaived_count(&self) -> usize {
+        self.lint.unwaived().len() + self.analysis.unwaived().len()
+    }
+}
+
 /// Lints the workspace rooted at `root` with the default configuration.
 ///
 /// # Errors
@@ -230,11 +259,38 @@ pub fn run_lint(root: &Path) -> Result<LintReport, LintError> {
 }
 
 /// Lints the workspace rooted at `root` with an explicit configuration.
+/// The call-graph analyses still run (waiver staleness is judged over the
+/// union); only the token-level report is returned.
 ///
 /// # Errors
 ///
 /// See [`run_lint`].
 pub fn run_lint_with(root: &Path, config: &LintConfig) -> Result<LintReport, LintError> {
+    run_workspace_with(root, config, &AnalysisConfig::default()).map(|w| w.lint)
+}
+
+/// Runs the token lint *and* the call-graph analyses with the default
+/// configurations.
+///
+/// # Errors
+///
+/// See [`run_lint`].
+pub fn run_workspace(root: &Path) -> Result<WorkspaceReport, LintError> {
+    run_workspace_with(root, &LintConfig::default(), &AnalysisConfig::default())
+}
+
+/// Runs the token lint and the call-graph analyses with explicit
+/// configurations. `lint-allow.toml` waivers apply to findings from
+/// either pass, and stale-waiver detection runs once over the union.
+///
+/// # Errors
+///
+/// See [`run_lint`].
+pub fn run_workspace_with(
+    root: &Path,
+    config: &LintConfig,
+    aconfig: &AnalysisConfig,
+) -> Result<WorkspaceReport, LintError> {
     let root_manifest_path = root.join("Cargo.toml");
     let root_manifest = read(&root_manifest_path)?;
     if !toml::parse(&root_manifest).iter().any(|t| t.name == "workspace" && !t.is_array) {
@@ -242,6 +298,7 @@ pub fn run_lint_with(root: &Path, config: &LintConfig) -> Result<LintReport, Lin
     }
 
     let mut findings: Vec<Finding> = Vec::new();
+    let mut analysis_sources: Vec<(String, String)> = Vec::new();
     let mut files_scanned = 0usize;
     let mut manifests_checked = 0usize;
 
@@ -298,17 +355,33 @@ pub fn run_lint_with(root: &Path, config: &LintConfig) -> Result<LintReport, Lin
                     wall_clock_allow: &config.wall_clock_allow,
                     relaxed_allow: &config.relaxed_allow,
                 };
-                findings.extend(rules::check_source(&ctx, &read(&file)?));
+                let source = read(&file)?;
+                findings.extend(rules::check_source(&ctx, &source));
                 files_scanned += 1;
+                // Library files of workspace crates also feed the call
+                // graph (dev files never ship, so they stay out of it).
+                if kind == FileKind::Library {
+                    analysis_sources.push((rel, source));
+                }
             }
         }
     }
 
+    // Call-graph analyses over the library sources.
+    let analyzed = analysis::analyze(&analysis_sources, aconfig);
+    findings.extend(analyzed.findings);
+
+    // Waivers apply across the union so stale detection sees both passes.
     waivers::apply_waivers(&mut findings, &waiver_set.waivers);
-    let mut report = LintReport { findings, files_scanned, manifests_checked };
-    report.sort();
+    let (analysis_findings, lint_findings): (Vec<Finding>, Vec<Finding>) =
+        findings.into_iter().partition(|f| f.rule.starts_with("analysis/"));
+
+    let mut lint = LintReport { findings: lint_findings, files_scanned, manifests_checked };
+    lint.sort();
     // Two hits of the same rule on one line (e.g. `HashMap::<_,_>::new()`
     // naming the type twice) are one violation.
-    report.findings.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
-    Ok(report)
+    lint.findings.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+    let mut analysis = AnalysisReport { findings: analysis_findings, stats: analyzed.stats };
+    analysis.sort();
+    Ok(WorkspaceReport { lint, analysis })
 }

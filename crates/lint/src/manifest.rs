@@ -47,6 +47,7 @@ pub fn check_manifest(
             snippet,
             waived: false,
             reason: None,
+            witness: Vec::new(),
         });
     };
 

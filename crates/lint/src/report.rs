@@ -214,6 +214,7 @@ mod tests {
             snippet: "let x = 1;".to_string(),
             waived,
             reason: waived.then(|| "because".to_string()),
+            witness: Vec::new(),
         }
     }
 

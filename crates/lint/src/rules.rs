@@ -37,6 +37,9 @@ pub struct Finding {
     pub waived: bool,
     /// The waiver's rationale when `waived`.
     pub reason: Option<String>,
+    /// Call-path witness (root → … → sink) for graph-reachability
+    /// findings; empty for token-level findings.
+    pub witness: Vec<String>,
 }
 
 /// Rule id: `HashMap`/`HashSet` in artifact-serializing library code.
@@ -80,11 +83,11 @@ pub struct FileContext<'a> {
 /// Macro names whose invocation panics (checked with a trailing `!`).
 /// `debug_assert*` is deliberately absent: it is compiled out of the
 /// release builds that produce artifacts.
-const PANIC_MACROS: &[&str] =
+pub(crate) const PANIC_MACROS: &[&str] =
     &["panic", "assert", "assert_eq", "assert_ne", "unreachable", "todo", "unimplemented"];
 
 /// Methods whose call panics (checked as `.name(`).
-const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+pub(crate) const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 
 /// Deprecated panicking constructors: `Type::method` call paths.
 const DEPRECATED_CTORS: &[(&str, &str)] = &[("GenerousTft", "new"), ("HillClimb", "new")];
@@ -114,6 +117,7 @@ pub fn check_source(ctx: &FileContext<'_>, source: &str) -> Vec<Finding> {
             snippet: snippet(line),
             waived: false,
             reason: None,
+            witness: Vec::new(),
         });
     };
 

@@ -110,6 +110,7 @@ fn invalid(line: u32, message: &str) -> Finding {
         snippet: String::new(),
         waived: false,
         reason: None,
+        witness: Vec::new(),
     }
 }
 
@@ -147,6 +148,7 @@ pub fn apply_waivers(findings: &mut Vec<Finding>, waivers: &[Waiver]) {
                 snippet: format!("reason: {}", waiver.reason),
                 waived: false,
                 reason: None,
+                witness: Vec::new(),
             });
         }
     }
@@ -166,6 +168,7 @@ mod tests {
             snippet: String::new(),
             waived: false,
             reason: None,
+            witness: Vec::new(),
         }
     }
 

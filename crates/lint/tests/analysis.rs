@@ -1,0 +1,243 @@
+//! End-to-end runs of the call-graph analyses: fixture mini-workspaces
+//! with known clean/dirty graphs, the real workspace (which must be
+//! analysis-clean with every waiver carrying a rationale), byte-stability
+//! of `ANALYSIS.json`, and a proptest that the analyzer's output bytes
+//! are invariant under input file order.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use macgame_lint::analysis::{
+    analyze, AnalysisConfig, RootSpec, RULE_LOCK_ORDER, RULE_PANIC_PATH, RULE_TAINT,
+};
+use macgame_lint::{run_workspace, run_workspace_with, LintConfig};
+use proptest::prelude::*;
+
+fn real_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+/// The analysis config every fixture workspace is written against:
+/// `emit` fns are artifact roots, no wall-clock quarantine, all crates
+/// are public API.
+fn fixture_config() -> AnalysisConfig {
+    AnalysisConfig {
+        taint_roots: vec![RootSpec::fn_in("crates/", "emit")],
+        wall_clock_allow: vec![],
+        panic_api_prefixes: vec!["crates/".to_string()],
+    }
+}
+
+fn fixture_analysis(name: &str) -> macgame_lint::AnalysisReport {
+    run_workspace_with(&fixture_root(name), &LintConfig::default(), &fixture_config())
+        .unwrap()
+        .analysis
+}
+
+#[test]
+fn clean_fixture_reports_nothing() {
+    let report = fixture_analysis("ws_clean");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.stats.taint_roots, 1, "emit must be rooted");
+    assert!(report.stats.functions >= 4);
+}
+
+#[test]
+fn taint_fixture_reports_the_rooted_path_and_only_it() {
+    let report = fixture_analysis("ws_taint");
+    let taints: Vec<_> =
+        report.findings.iter().filter(|f| f.rule == RULE_TAINT).collect();
+    assert_eq!(taints.len(), 1, "island's clock is unrooted: {:?}", report.findings);
+    let f = taints[0];
+    assert_eq!((f.path.as_str(), f.line), ("crates/app/src/lib.rs", 15));
+    assert_eq!(
+        f.witness,
+        vec![
+            "emit (crates/app/src/lib.rs:6)",
+            "mid (crates/app/src/lib.rs:10)",
+            "leaf (crates/app/src/lib.rs:14)",
+            "Instant::now (crates/app/src/lib.rs:15)",
+        ],
+        "witness must spell out the root → … → sink path"
+    );
+}
+
+#[test]
+fn panic_fixture_reports_the_unmarked_path_and_only_it() {
+    let report = fixture_analysis("ws_panic");
+    let panics: Vec<_> =
+        report.findings.iter().filter(|f| f.rule == RULE_PANIC_PATH).collect();
+    assert_eq!(panics.len(), 1, "{:?}", report.findings);
+    let f = panics[0];
+    assert_eq!(f.line, 11, "the unmarked unwrap inside helper");
+    assert_eq!(
+        f.witness,
+        vec![
+            "api (crates/app/src/lib.rs:6)",
+            "helper (crates/app/src/lib.rs:10)",
+            ".unwrap() (crates/app/src/lib.rs:11)",
+        ]
+    );
+}
+
+#[test]
+fn lock_cycle_fixture_reports_one_cycle_with_both_edges() {
+    let report = fixture_analysis("ws_lockcycle");
+    let cycles: Vec<_> =
+        report.findings.iter().filter(|f| f.rule == RULE_LOCK_ORDER).collect();
+    assert_eq!(cycles.len(), 1, "{:?}", report.findings);
+    let f = cycles[0];
+    assert!(f.message.contains("Pair::alpha"), "{}", f.message);
+    assert!(f.message.contains("Pair::beta"), "{}", f.message);
+    assert_eq!(f.witness.len(), 2, "one edge description per direction: {:?}", f.witness);
+    assert_eq!(report.stats.lock_sites, 4);
+}
+
+#[test]
+fn real_workspace_is_analysis_clean_with_rationales_and_witnesses() {
+    let workspace = run_workspace(&real_root()).unwrap();
+    let unwaived: Vec<String> = workspace
+        .analysis
+        .unwaived()
+        .iter()
+        .map(|f| format!("{} {}:{}", f.rule, f.path, f.line))
+        .collect();
+    assert!(unwaived.is_empty(), "unwaived analysis findings: {unwaived:#?}");
+    for f in &workspace.analysis.findings {
+        assert!(
+            f.reason.as_deref().is_some_and(|r| !r.trim().is_empty()),
+            "waiver without rationale: {} {}:{}",
+            f.rule,
+            f.path,
+            f.line
+        );
+        // Every reachability finding carries a root → … → sink witness
+        // whose last step names the finding's own site.
+        assert!(!f.witness.is_empty(), "{} {}:{} has no witness", f.rule, f.path, f.line);
+        if f.rule != RULE_LOCK_ORDER {
+            let site = format!("({}:{})", f.path, f.line);
+            assert!(
+                f.witness.last().is_some_and(|w| w.ends_with(&site)),
+                "witness of {}:{} must end at the site: {:?}",
+                f.path,
+                f.line,
+                f.witness
+            );
+        }
+    }
+    // The graph actually covered the workspace.
+    assert!(workspace.analysis.stats.functions > 500);
+    assert!(workspace.analysis.stats.edges > workspace.analysis.stats.functions);
+    assert!(workspace.analysis.stats.taint_roots > 10, "repro experiments are roots");
+    assert!(workspace.analysis.stats.lock_sites > 10, "sharded caches are audited");
+}
+
+#[test]
+fn analysis_artifact_is_byte_stable_across_runs() {
+    let root = real_root();
+    let first = run_workspace(&root).unwrap().analysis.to_json();
+    let second = run_workspace(&root).unwrap().analysis.to_json();
+    assert_eq!(first, second);
+    assert!(first.contains("\"schema\": \"macgame-analysis/1\""));
+    assert!(first.contains("\"witness\": ["));
+}
+
+/// An `analysis/*` waiver in a workspace whose *token* lint is also
+/// running must be applied to the analysis finding and must NOT be
+/// reported stale by the token pass — waivers match over the union.
+#[test]
+fn analysis_waivers_apply_across_the_union_without_going_stale() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("analysis-union");
+    if root.exists() {
+        fs::remove_dir_all(&root).unwrap();
+    }
+    fs::create_dir_all(root.join("crates/app/src")).unwrap();
+    fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/app\"]\nresolver = \"2\"\n\n\
+         [workspace.package]\nversion = \"0.1.0\"\nedition = \"2021\"\nlicense = \"MIT\"\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("crates/app/Cargo.toml"),
+        "[package]\nname = \"app\"\nversion.workspace = true\n\
+         edition.workspace = true\nlicense.workspace = true\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("crates/app/src/lib.rs"),
+        "pub fn api(x: Option<u32>) -> u32 { helper(x) }\n\
+         fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("lint-allow.toml"),
+        "[[allow]]\nrule = \"analysis/panic-path\"\npath = \"crates/app/src/lib.rs\"\n\
+         line = 2\nreason = \"fixture: callers validate Some\"\n\n\
+         [[allow]]\nrule = \"panic-policy/unmarked-panic\"\npath = \"crates/app/src/lib.rs\"\n\
+         line = 2\nreason = \"fixture: callers validate Some\"\n",
+    )
+    .unwrap();
+    let workspace = run_workspace_with(
+        &root,
+        &LintConfig::default(),
+        &AnalysisConfig {
+            taint_roots: vec![],
+            wall_clock_allow: vec![],
+            panic_api_prefixes: vec!["crates/".to_string()],
+        },
+    )
+    .unwrap();
+    assert!(workspace.is_clean(), "lint: {:?}\nanalysis: {:?}",
+        workspace.lint.unwaived(), workspace.analysis.unwaived());
+    assert!(
+        workspace.analysis.findings.iter().any(|f| f.waived),
+        "the panic-path finding must exist and be waived"
+    );
+    assert!(
+        !workspace.lint.findings.iter().any(|f| f.rule == "waiver/stale"),
+        "neither waiver may go stale: {:?}",
+        workspace.lint.findings
+    );
+}
+
+/// All fixture sources combined into one synthetic workspace, with paths
+/// remapped so the four `app` crates stay distinct.
+fn combined_fixture_sources() -> Vec<(String, String)> {
+    let mut files = Vec::new();
+    for ws in ["ws_clean", "ws_taint", "ws_panic", "ws_lockcycle"] {
+        let lib = fixture_root(ws).join("crates/app/src/lib.rs");
+        let source = fs::read_to_string(&lib).unwrap();
+        files.push((format!("crates/{ws}/src/lib.rs"), source));
+    }
+    files
+}
+
+proptest! {
+    /// The analyzer's output bytes do not depend on the order files are
+    /// handed in — the property CI's double-run `cmp` relies on.
+    #[test]
+    fn analyzer_bytes_are_input_order_invariant(seed in 0u64..u64::MAX) {
+        let config = fixture_config();
+        let baseline = analyze(&combined_fixture_sources(), &config).to_json();
+        let mut files = combined_fixture_sources();
+        // Fisher–Yates driven by the proptest seed.
+        let mut state = seed | 1;
+        for i in (1..files.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            files.swap(i, (state as usize) % (i + 1));
+        }
+        let shuffled = analyze(&files, &config).to_json();
+        prop_assert_eq!(&baseline, &shuffled);
+        // The dirty fixtures stay visible whatever the order.
+        prop_assert!(shuffled.contains("analysis/determinism-taint"));
+        prop_assert!(shuffled.contains("analysis/panic-path"));
+        prop_assert!(shuffled.contains("analysis/lock-order"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Clean fixture: the artifact root `emit` reaches only deterministic,
+//! non-panicking, lock-free code. The analyzer must report nothing.
+
+/// Artifact root: emits a deterministic checksum.
+pub fn emit() -> u64 {
+    checksum(&collect())
+}
+
+fn collect() -> Vec<u64> {
+    (0..8).map(step).collect()
+}
+
+fn step(i: u64) -> u64 {
+    i.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+fn checksum(xs: &[u64]) -> u64 {
+    xs.iter().fold(0u64, |acc, x| acc ^ x.rotate_left(7))
+}

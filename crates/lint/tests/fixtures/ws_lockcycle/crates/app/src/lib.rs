@@ -1,0 +1,31 @@
+//! Dirty fixture: two methods of `Pair` acquire the same two locks in
+//! opposite orders — the classic deadlock shape the lock-order pass must
+//! report as one cycle.
+
+use std::sync::Mutex;
+
+/// Two locks with no agreed acquisition order.
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    /// Takes `alpha` then `beta`.
+    pub fn ab(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        value(&a) + value(&b)
+    }
+
+    /// Takes `beta` then `alpha` — opposite order.
+    pub fn ba(&self) -> u64 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        value(&b) - value(&a)
+    }
+}
+
+fn value<T>(_guard: &T) -> u64 {
+    0
+}

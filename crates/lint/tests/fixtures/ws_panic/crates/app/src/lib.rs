@@ -1,0 +1,26 @@
+//! Dirty fixture: `api` can reach an unmarked `.unwrap()` through a
+//! private helper. The marked sibling path and the non-panicking
+//! `unwrap_or` must stay silent.
+
+/// Public API that panics one call down.
+pub fn api(x: Option<u32>) -> u32 {
+    helper(x)
+}
+
+fn helper(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Public API with a documented panic contract: exempt.
+pub fn uses_marked(x: Option<u32>) -> u32 {
+    marked(x)
+}
+
+fn marked(x: Option<u32>) -> u32 {
+    x.unwrap() // PANIC-POLICY: fixture contract — caller guarantees Some
+}
+
+/// Public API that cannot panic: exempt.
+pub fn safe(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

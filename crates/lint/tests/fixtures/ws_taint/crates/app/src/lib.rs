@@ -1,0 +1,23 @@
+//! Dirty fixture: the artifact root `emit` reaches a wall-clock read two
+//! calls down. `island` holds a nondeterminism source too, but nothing
+//! roots it, so the taint pass must stay silent about it.
+
+/// Artifact root: the timing leaks into the "artifact" value.
+pub fn emit() -> u128 {
+    mid()
+}
+
+fn mid() -> u128 {
+    leaf()
+}
+
+fn leaf() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}
+
+/// Not a root and unreachable from `emit`.
+pub fn island() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}

@@ -47,8 +47,14 @@ cargo run --release -p macgame-bench --bin repro -- bench-solver --quick
 echo "==> serve benchmark (repro -- bench-serve --quick, wire-path qps + thread invariance)"
 cargo run --release -p macgame-bench --bin repro -- bench-serve --quick
 
-echo "==> workspace invariant lints (repro -- lint)"
-cargo run --release -p macgame-bench --bin repro -- lint
+echo "==> workspace invariant lints + call-graph analysis (repro -- lint, byte-stability check)"
+MACGAME_THREADS=1 cargo run --release -p macgame-bench --bin repro -- lint
+cp artifacts/ANALYSIS.json artifacts/ANALYSIS.threads1.json
+cp artifacts/LINT.json artifacts/LINT.threads1.json
+MACGAME_THREADS=2 cargo run --release -p macgame-bench --bin repro -- lint
+cmp artifacts/ANALYSIS.threads1.json artifacts/ANALYSIS.json
+cmp artifacts/LINT.threads1.json artifacts/LINT.json
+rm artifacts/ANALYSIS.threads1.json artifacts/LINT.threads1.json
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
